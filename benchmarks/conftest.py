@@ -1,0 +1,39 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table/figure of the paper at reduced
+duration, printing the paper's expected values next to the measured ones
+(run ``pytest benchmarks/ --benchmark-only -s`` to see the tables), and
+asserts the *shape* of the result — who wins, by roughly what factor —
+rather than absolute numbers, which depend on the testbed.
+
+Expensive multi-run artifacts (the Figure 15–18 coexistence grid, the
+Figure 19–20 mix sweep) are computed once per session and shared across
+the benchmarks that report different views of them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a results table, visibly bracketed in benchmark output."""
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def grid_cache():
+    """Session cache for the Figure 15–18 grid, keyed by AQM name."""
+    return {}
+
+
+@pytest.fixture(scope="session")
+def mix_cache():
+    """Session cache for the Figure 19–20 flow-mix sweep."""
+    return {}
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

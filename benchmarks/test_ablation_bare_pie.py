@@ -1,0 +1,59 @@
+"""Ablation — bare-PIE vs full PIE (Section 5's control experiment).
+
+The paper disabled every Linux PIE heuristic ('bare-PIE'), re-ran all its
+experiments, and "saw no difference in any experiment between bare-PIE
+and the full PIE", concluding the PI2 improvements are due to the
+restructuring, not to removing heuristics.  This bench re-checks that on
+the light/heavy steady-state scenarios.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.harness import bare_pie_factory, pie_factory, run_experiment
+from repro.harness.scenarios import heavy_tcp, light_tcp
+from repro.harness.sweep import format_table
+
+
+def run_all():
+    out = {}
+    for scenario_name, scenario in (("5 TCP", light_tcp), ("50 TCP", heavy_tcp)):
+        for aqm_name, factory in (
+            ("pie", pie_factory()),
+            ("bare-pie", bare_pie_factory()),
+        ):
+            out[(scenario_name, aqm_name)] = run_experiment(
+                scenario(factory, duration=40.0)
+            )
+    return out
+
+
+def test_ablation_bare_pie_equivalence(benchmark):
+    results = run_once(benchmark, run_all)
+
+    rows = []
+    stats = {}
+    for (scenario, aqm), r in results.items():
+        soj = r.sojourn_samples()
+        stats[(scenario, aqm)] = {
+            "mean": float(np.mean(soj)) * 1e3,
+            "p99": float(np.percentile(soj, 99)) * 1e3,
+            "util": r.mean_utilization(),
+        }
+        s = stats[(scenario, aqm)]
+        rows.append((scenario, aqm, s["mean"], s["p99"], s["util"] * 100))
+
+    emit(
+        format_table(
+            ["scenario", "aqm", "q mean [ms]", "q p99 [ms]", "util [%]"],
+            rows,
+            title="Ablation: full PIE vs bare-PIE (paper: 'no difference in"
+            " any experiment')",
+        )
+    )
+
+    for scenario in ("5 TCP", "50 TCP"):
+        full = stats[(scenario, "pie")]
+        bare = stats[(scenario, "bare-pie")]
+        assert abs(full["mean"] - bare["mean"]) < 10.0, scenario
+        assert abs(full["util"] - bare["util"]) < 0.05, scenario

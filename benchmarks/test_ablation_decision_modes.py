@@ -1,0 +1,75 @@
+"""Ablation — PI2's two drop-decision implementations (Section 5).
+
+"The squaring can be implemented either by multiplying p' by itself, or
+by comparing it with the maximum of 2 random variables ... The first is
+easy to perform in a software implementation ... The latter might be
+preferred for a hardware implementation."
+
+Unit tests already show the two are Bernoulli(p'²)-identical per packet;
+this bench closes the loop at system level: a full experiment under each
+mode must produce statistically indistinguishable queue delay,
+probability, and goodput.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.harness import MBPS, pi2_factory, run_experiment
+from repro.harness.experiment import Experiment, FlowGroup
+from repro.harness.repeat import repeat_experiment
+from repro.harness.sweep import format_table
+
+
+def build(mode):
+    return Experiment(
+        capacity_bps=10 * MBPS,
+        duration=25.0,
+        warmup=10.0,
+        aqm_factory=pi2_factory(decision_mode=mode),
+        flows=[FlowGroup(cc="reno", count=5, rtt=0.05)],
+        record_sojourns=False,
+    )
+
+
+def run_all():
+    metrics = {
+        "delay": lambda r: r.queue_delay.mean(10.0),
+        "p": lambda r: r.probability.mean(10.0),
+        "goodput": lambda r: sum(r.goodputs("reno")),
+    }
+    seeds = (1, 2, 3)
+    return {
+        mode: repeat_experiment(build(mode), metrics, seeds=seeds)
+        for mode in ("multiply", "two-randoms")
+    }
+
+
+def test_ablation_decision_modes(benchmark):
+    estimates = run_once(benchmark, run_all)
+
+    rows = []
+    for mode, est in estimates.items():
+        rows.append(
+            (mode, est["delay"].mean * 1e3, est["delay"].ci95 * 1e3,
+             est["p"].mean * 100, est["goodput"].mean / 1e6)
+        )
+    emit(
+        format_table(
+            ["decision mode", "q delay [ms]", "±95% [ms]", "p [%]",
+             "goodput [Mb/s]"],
+            rows,
+            title="Ablation: software (multiply) vs hardware (two-randoms)"
+            " PI2 decision — §5 says equivalent",
+        )
+    )
+
+    mult, two = estimates["multiply"], estimates["two-randoms"]
+    # Confidence intervals overlap on every metric.
+    for key in ("delay", "p", "goodput"):
+        assert mult[key].overlaps(two[key]), key
+    # And point estimates are close in absolute/relative terms.
+    assert abs(mult["delay"].mean - two["delay"].mean) < 0.01
+    assert (
+        abs(mult["goodput"].mean - two["goodput"].mean) / mult["goodput"].mean
+        < 0.05
+    )

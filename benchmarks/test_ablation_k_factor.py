@@ -1,0 +1,49 @@
+"""Ablation — the coupling factor k: analytic 1.19 vs deployed 2 (and 4).
+
+Appendix A derives k ≈ 1.19 for idealized steady-state equality, but the
+paper deploys k = 2 "having been validated empirically" — real DCTCP's
+smoothing and dynamics make it effectively more aggressive than the
+idealized W = 2/p law.  This bench sweeps k in the coupled AQM and
+reports the resulting Cubic/DCTCP balance: larger k weakens the Classic
+signal, shifting the balance toward Cubic.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.harness import coupled_factory, run_experiment
+from repro.harness.scenarios import coexistence_pair
+from repro.harness.sweep import format_table
+
+K_VALUES = (1.19, 2.0, 4.0)
+
+
+def run_all():
+    out = {}
+    for k in K_VALUES:
+        r = run_experiment(
+            coexistence_pair(coupled_factory(k=k), duration=30.0, warmup=10.0)
+        )
+        out[k] = r.balance("cubic", "dctcp")
+    return out
+
+
+def test_ablation_k_factor(benchmark):
+    ratios = run_once(benchmark, run_all)
+
+    emit(
+        format_table(
+            ["k", "Cubic/DCTCP ratio"],
+            [(k, ratios[k]) for k in K_VALUES],
+            title="Ablation: coupling factor k (40 Mb/s, 10 ms RTT)\n"
+            "paper: k=1.19 analytic, k=2 deployed (validated empirically)",
+        )
+    )
+
+    # Monotonicity: larger k → gentler Classic signal → more Cubic share.
+    assert ratios[1.19] < ratios[2.0] < ratios[4.0]
+    # The deployed k = 2 lands nearest to balance.
+    distances = {k: abs(np.log(r)) for k, r in ratios.items()}
+    assert distances[2.0] <= min(distances[1.19], distances[4.0]) + 0.3
+    # k = 2 keeps the ratio in a sane band.
+    assert 0.3 < ratios[2.0] < 3.0

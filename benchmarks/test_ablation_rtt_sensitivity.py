@@ -1,0 +1,62 @@
+"""Ablation — the equal-RTT assumption behind the coupling law.
+
+Appendix A is explicit: "Therefore, **if the RTTs are equal**, we can
+arrange the rates to be equal using the simple relation between the
+probabilities, defined in (14)."  Rate = W/R, so unequal base RTTs could
+tilt the split.  Measured, the tilt is softer than the classic 1/RTT
+intuition because the single queue's ~20 ms standing delay is part of
+every flow's effective RTT: base-RTT differences *below* the queue delay
+are largely flattened (5 ms vs 20 ms base → the same balance), while a
+base RTT well above it (60 ms) tilts the balance moderately against the
+long-RTT flow.  This bench pins both effects.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.harness import MBPS, coupled_factory, run_experiment
+from repro.harness.experiment import Experiment, FlowGroup
+from repro.harness.sweep import format_table
+
+CUBIC_RTT = 0.020
+DCTCP_RTTS = (0.005, 0.020, 0.060)
+
+
+def run_all():
+    out = {}
+    for dctcp_rtt in DCTCP_RTTS:
+        exp = Experiment(
+            capacity_bps=40 * MBPS,
+            duration=30.0,
+            warmup=10.0,
+            aqm_factory=coupled_factory(),
+            flows=[
+                FlowGroup(cc="dctcp", count=1, rtt=dctcp_rtt, label="dctcp"),
+                FlowGroup(cc="cubic", count=1, rtt=CUBIC_RTT, label="cubic"),
+            ],
+        )
+        r = run_experiment(exp)
+        out[dctcp_rtt] = r.balance("dctcp", "cubic")
+    return out
+
+
+def test_ablation_rtt_sensitivity(benchmark):
+    ratios = run_once(benchmark, run_all)
+
+    emit(
+        format_table(
+            ["dctcp RTT [ms]", "cubic RTT [ms]", "DCTCP/Cubic ratio"],
+            [(r * 1e3, CUBIC_RTT * 1e3, ratios[r]) for r in DCTCP_RTTS],
+            title="Ablation: eq (14) assumes equal RTTs — balance tilts"
+            " with the RTT ratio (coupled PI+PI2, 40 Mb/s)",
+        )
+    )
+
+    # Equal RTTs: balanced (the paper's operating assumption).
+    assert 0.4 < ratios[0.020] < 2.5
+    # Below the queue delay, base-RTT differences are flattened out.
+    assert ratios[0.005] == pytest.approx(ratios[0.020], rel=0.5)
+    # Well above it, the long-RTT flow loses share — eq (14)'s caveat.
+    assert ratios[0.060] < ratios[0.020]
+    # But coexistence never collapses into starvation.
+    assert all(0.3 < r < 3.5 for r in ratios.values())

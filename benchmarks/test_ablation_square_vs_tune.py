@@ -1,0 +1,76 @@
+"""Ablation — the squared output stage vs PIE's auto-tune table vs neither.
+
+DESIGN.md calls out the core design choice: replace the stepped gain
+scaling with output squaring.  This bench runs the same light-load
+scenario (where fixed-gain PI misbehaves) under:
+
+* ``pi``        — fixed PIE-base gains, no tune, no square (Figure 6 'pi');
+* ``pie-tune``  — fixed base gains *with* the auto-tune table (PIE's fix);
+* ``pi2``       — 2.5× gains with the square (the paper's fix).
+
+Expected: 'pi' shows the over-reaction signature (probability collapsing
+to zero, utilization loss); both fixes behave, and PI2 does so with the
+*higher* gains that give it Figure 12's responsiveness.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.harness import MBPS, bare_pie_factory, pi2_factory, pi_factory, run_experiment
+from repro.harness.experiment import Experiment, FlowGroup
+from repro.harness.sweep import format_table
+
+
+def run_all():
+    configs = {
+        "pi": pi_factory(),
+        "pie-tune": bare_pie_factory(),  # PI + tune table, no other heuristics
+        "pi2": pi2_factory(),
+    }
+    out = {}
+    for name, factory in configs.items():
+        out[name] = run_experiment(
+            Experiment(
+                capacity_bps=10 * MBPS, duration=40.0, warmup=10.0,
+                aqm_factory=factory,
+                flows=[FlowGroup(cc="reno", count=5, rtt=0.100)],
+                sample_period=0.1,
+            )
+        )
+    return out
+
+
+def test_ablation_square_vs_tune(benchmark):
+    results = run_once(benchmark, run_all)
+
+    rows = []
+    stats = {}
+    for name, r in results.items():
+        p = r.probability.window(10, 40)
+        qd = r.queue_delay.window(10, 40)
+        u = r.utilization.window(10, 40)
+        stats[name] = {
+            "p_zero": float(np.mean(p == 0)),
+            "q_mean": float(np.mean(qd)) * 1e3,
+            "q_std": float(np.std(qd)) * 1e3,
+            "util": float(np.mean(u)),
+        }
+        s = stats[name]
+        rows.append((name, s["q_mean"], s["q_std"], s["p_zero"], s["util"] * 100))
+
+    emit(
+        format_table(
+            ["config", "q mean [ms]", "q std [ms]", "p=0 frac", "util [%]"],
+            rows,
+            title="Ablation: square vs tune-table vs neither"
+            " (5 Reno flows, 10 Mb/s, RTT 100 ms)",
+        )
+    )
+
+    # The un-linearized controller loses utilization through over-reaction.
+    assert stats["pi"]["util"] < stats["pi2"]["util"]
+    # Both linearizations keep utilization high.
+    assert stats["pie-tune"]["util"] > 0.90
+    assert stats["pi2"]["util"] > 0.90
+    # The un-linearized controller spends the most time with p collapsed.
+    assert stats["pi"]["p_zero"] >= stats["pi2"]["p_zero"]

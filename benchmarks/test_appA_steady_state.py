@@ -1,0 +1,92 @@
+"""Appendix A — measured steady-state windows vs equations (5)–(14).
+
+Runs each congestion control against the idealized constant-probability
+marker/dropper and prints measured vs analytic windows, plus the
+coupling check: a DCTCP flow at ps and a CReno flow at (ps/1.19)² achieve
+the same window (equation 13/14).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.aqm.fixed import FixedProbabilityAqm
+from repro.analysis import steady_state as ss
+from repro.harness.experiment import Experiment, FlowGroup, run_experiment
+from repro.harness.sweep import format_table
+
+MSS = 1448
+RTT = 0.04
+
+
+def measure(cc, p, duration=50.0, seed=5):
+    exp = Experiment(
+        capacity_bps=200e6, duration=duration, warmup=15.0,
+        aqm_factory=lambda rng: FixedProbabilityAqm(p, rng),
+        flows=[FlowGroup(cc=cc, count=1, rtt=RTT, label="x")],
+        seed=seed, record_sojourns=False,
+    )
+    r = run_experiment(exp)
+    return sum(r.goodputs("x")) * RTT / (MSS * 8)
+
+
+CASES = [
+    ("reno", 0.003, lambda p: ss.window_reno(p), "eq(5) 1.22/sqrt(p)"),
+    ("reno", 0.01, lambda p: ss.window_reno(p), "eq(5) 1.22/sqrt(p)"),
+    ("ecn-cubic", 0.01, lambda p: ss.window_creno(p), "eq(7) 1.68/sqrt(p)"),
+    ("cubic", 0.01, lambda p: ss.window_creno(p), "eq(7) 1.68/sqrt(p)"),
+    ("dctcp", 0.02, lambda p: ss.window_dctcp(p), "eq(11) 2/p"),
+    ("dctcp", 0.05, lambda p: ss.window_dctcp(p), "eq(11) 2/p"),
+    ("dctcp", 0.1, lambda p: ss.window_dctcp(p), "eq(11) 2/p"),
+]
+
+
+def run_all():
+    return [(cc, p, measure(cc, p), law(p), eq) for cc, p, law, eq in CASES]
+
+
+def test_appA_window_laws(benchmark):
+    rows = run_once(benchmark, run_all)
+
+    emit(
+        format_table(
+            ["cc", "p", "W measured", "W analytic", "equation"],
+            [(cc, p, w, lw, eq) for cc, p, w, lw, eq in rows],
+            title="Appendix A: steady-state windows vs the paper's equations\n"
+            "(loss-based CCs run below the law by NewReno recovery costs;"
+            " ECN-based match)",
+        )
+    )
+
+    by_case = {(cc, p): (w, lw) for cc, p, w, lw, _ in rows}
+    # ECN-driven flows match their laws tightly.
+    w, lw = by_case[("ecn-cubic", 0.01)]
+    assert w / lw == pytest.approx(1.0, abs=0.2)
+    for p in (0.02, 0.05, 0.1):
+        w, lw = by_case[("dctcp", p)]
+        assert w / lw == pytest.approx(1.0, abs=0.2)
+    # Loss-driven flows land within NewReno recovery costs of the law.
+    for cc in ("reno", "cubic"):
+        w, lw = by_case[(cc, 0.01)]
+        assert 0.55 < w / lw <= 1.15, cc
+
+
+def test_appA_equal_rate_coupling(benchmark):
+    """Equation (13)/(14): pc = (ps/1.19)² equalizes DCTCP and CReno."""
+
+    def run():
+        ps = 0.1
+        pc = ss.coupled_classic_probability(ps)  # analytic k = 1.19
+        w_dctcp = measure("dctcp", ps)
+        w_creno = measure("ecn-cubic", pc)
+        return ps, pc, w_dctcp, w_creno
+
+    ps, pc, w_dctcp, w_creno = run_once(benchmark, run)
+    emit(
+        format_table(
+            ["ps (dctcp)", "pc=(ps/1.19)^2", "W dctcp", "W creno", "ratio"],
+            [(ps, pc, w_dctcp, w_creno, w_creno / w_dctcp)],
+            title="Appendix A eq(14): equal steady-state windows via the"
+            " analytic coupling (paper: ratio = 1)",
+        )
+    )
+    assert w_creno / w_dctcp == pytest.approx(1.0, abs=0.25)

@@ -1,0 +1,90 @@
+"""DualQ Coupled preview — the paper's Section 7 forward pointer.
+
+The paper's conclusion: the single-queue arrangement makes Scalable
+traffic suffer Classic queuing delay; the recommended deployment is the
+DualQ Coupled AQM [12, 13].  This bench contrasts the two with the same
+traffic: per-class queuing delay and rate balance, single queue (coupled
+PI+PI2) vs DualQ.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.aqm.dualq import DualQueueCoupledAqm
+from repro.harness import MBPS, coupled_factory
+from repro.harness.topology import Dumbbell
+from repro.harness.sweep import format_table
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+
+CAPACITY = 40 * MBPS
+RTT = 0.010
+DURATION = 30.0
+WARMUP = 10.0
+
+
+def run_one(kind, seed=1):
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    l_soj, c_soj = [], []
+
+    def on_sojourn(now, sojourn, pkt):
+        if now < WARMUP:
+            return
+        (l_soj if pkt.is_scalable else c_soj).append(sojourn)
+
+    if kind == "single-queue":
+        from repro.net.queue import AQMQueue
+
+        aqm = coupled_factory()(streams.stream("aqm"))
+        queue = AQMQueue(sim, aqm, CAPACITY, on_sojourn=on_sojourn)
+        bed = Dumbbell(sim, streams, CAPACITY, aqm=None, queue=queue)
+        bed.aqm = aqm
+    else:
+        queue = DualQueueCoupledAqm(
+            sim, CAPACITY, rng=streams.stream("aqm"), on_sojourn=on_sojourn
+        )
+        bed = Dumbbell(sim, streams, CAPACITY, aqm=None, queue=queue)
+
+    bed.add_tcp_flow("dctcp", rtt=RTT, label="dctcp")
+    bed.add_tcp_flow("cubic", rtt=RTT, label="cubic")
+    sim.at(WARMUP, bed.flows.open_windows, WARMUP)
+    sim.run(DURATION)
+    cubic = sum(bed.goodput_bps("cubic", DURATION))
+    dctcp = sum(bed.goodput_bps("dctcp", DURATION))
+    return {
+        "l_delay_ms": float(np.mean(l_soj)) * 1e3,
+        "c_delay_ms": float(np.mean(c_soj)) * 1e3,
+        "ratio": cubic / dctcp if dctcp else float("inf"),
+        "util": (cubic + dctcp) / CAPACITY,
+    }
+
+
+def test_dualq_vs_single_queue(benchmark):
+    results = run_once(
+        benchmark, lambda: {k: run_one(k) for k in ("single-queue", "dualq")}
+    )
+
+    emit(
+        format_table(
+            ["arrangement", "L (dctcp) delay [ms]", "C (cubic) delay [ms]",
+             "Cubic/DCTCP ratio", "goodput/cap"],
+            [
+                (k, r["l_delay_ms"], r["c_delay_ms"], r["ratio"], r["util"])
+                for k, r in results.items()
+            ],
+            title="DualQ preview (paper §7: single queue makes Scalable"
+            " traffic suffer Classic delay; DualQ isolates it)",
+        )
+    )
+
+    single, dualq = results["single-queue"], results["dualq"]
+    # Single queue: both classes share (roughly) the same ~target delay.
+    assert abs(single["l_delay_ms"] - single["c_delay_ms"]) < 10.0
+    # DualQ: the Scalable class gets well under the Classic queue's delay.
+    assert dualq["l_delay_ms"] < dualq["c_delay_ms"] / 2
+    assert dualq["l_delay_ms"] < 5.0
+    # Both arrangements keep rate balance and utilization.
+    for r in results.values():
+        assert 0.25 < r["ratio"] < 4.0
+        assert r["util"] > 0.85

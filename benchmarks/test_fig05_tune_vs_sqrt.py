@@ -1,0 +1,34 @@
+"""Figure 5 — PIE's stepped 'tune' factor vs the analytic √(2p) curve.
+
+Paper: the RFC 8033 lookup table, extended down to 0.0001 % during IETF
+review, tracks √(2p) — i.e. PIE's heuristic was implicitly implementing
+the square-root linearization that PI2 performs exactly.
+"""
+
+import math
+
+from benchmarks.conftest import emit, run_once
+from repro.aqm.tune_table import sqrt2p, tune, tune_table_rows
+from repro.harness.sweep import format_table
+
+
+def test_fig05_tune_table_fits_sqrt2p(benchmark):
+    rows = run_once(benchmark, lambda: tune_table_rows(points_per_decade=2))
+
+    emit(
+        format_table(
+            ["p", "tune(p)", "sqrt(2p)", "ratio"],
+            [(p, t, s, t / s if s else float("nan")) for p, t, s in rows],
+            title="Figure 5: PIE auto-tune steps vs sqrt(2p) (log-log in the paper)\n"
+            "paper shape: the steps straddle the sqrt curve over 6 decades",
+        )
+    )
+
+    # Within the table's covered range the step function stays within one
+    # table step (factor 4 each way) of the analytic curve ...
+    in_range = [(p, t, s) for p, t, s in rows if 1e-6 <= p <= 1.0 and s > 0]
+    for p, t, s in in_range:
+        assert 0.125 < t / s < 8.0, f"p={p}"
+    # ... and is unbiased on average (geometric mean ratio ≈ 1).
+    log_mean = sum(math.log(t / s) for _, t, s in in_range) / len(in_range)
+    assert abs(log_mean) < math.log(2.5)

@@ -1,0 +1,88 @@
+"""Figure 14 — CDF of per-packet queuing delay at 5 ms and 20 ms targets.
+
+Paper setup: 10 Mb/s, RTT 100 ms; (a) 20 TCP flows, (b) 5 TCP + 2×6 Mb/s
+UDP; target delay 5 ms (top row) and 20 ms (bottom row).
+
+Paper shape: PI2's delay distribution is similar to PIE's in all four
+panels — the restructuring does not change steady-state queue behaviour,
+it removes heuristics.  Duration shortened to 30 s.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.harness import MBPS, pi2_factory, pie_factory, run_experiment
+from repro.harness.experiment import Experiment, FlowGroup, UdpGroup
+from repro.harness.sweep import format_table
+from repro.metrics.stats import ecdf
+
+DURATION = 30.0
+
+
+def build(factory, target, with_udp):
+    flows = [FlowGroup(cc="reno", count=5 if with_udp else 20, rtt=0.100)]
+    udp = [UdpGroup(rate_bps=6 * MBPS, count=2)] if with_udp else []
+    return Experiment(
+        capacity_bps=10 * MBPS,
+        duration=DURATION,
+        warmup=10.0,
+        aqm_factory=factory,
+        flows=flows,
+        udp=udp,
+    )
+
+
+def run_all():
+    out = {}
+    for target in (0.005, 0.020):
+        for with_udp in (False, True):
+            for name, make in (
+                ("pie", lambda t: pie_factory(target_delay=t)),
+                ("pi2", lambda t: pi2_factory(target_delay=t)),
+            ):
+                key = (target, with_udp, name)
+                out[key] = run_experiment(build(make(target), target, with_udp))
+    return out
+
+
+def test_fig14_delay_cdf(benchmark):
+    results = run_once(benchmark, run_all)
+
+    rows = []
+    medians = {}
+    for (target, with_udp, name), r in sorted(results.items(), key=str):
+        soj = r.sojourn_samples()
+        xs, ps = ecdf(soj)
+        med = float(np.percentile(soj, 50)) * 1e3
+        p90 = float(np.percentile(soj, 90)) * 1e3
+        medians[(target, with_udp, name)] = med
+        scenario = "5TCP+2UDP" if with_udp else "20 TCP"
+        rows.append((f"{target*1e3:.0f} ms", scenario, name, med, p90))
+
+    emit(
+        format_table(
+            ["target", "scenario", "aqm", "median [ms]", "p90 [ms]"],
+            rows,
+            title="Figure 14: queue-delay CDF summary (10 Mb/s, RTT 100 ms)\n"
+            "paper shape: PI2 ≈ PIE in all panels",
+        )
+    )
+
+    # PI2's distribution tracks PIE's in the pure-TCP panels (the paper's
+    # CDFs nearly overlap).
+    for target in (0.005, 0.020):
+        pie_med = medians[(target, False, "pie")]
+        pi2_med = medians[(target, False, "pi2")]
+        assert pi2_med < pie_med * 2.5 + 2.0, target
+    # Under 12 Mb/s of unresponsive UDP, PI2's 25 % classic cap binds and
+    # the queue settles at the overload equilibrium (~40 ms here) rather
+    # than the target, while PIE pushes its probability past 25 % — a
+    # documented structural divergence (see EXPERIMENTS.md).  Assert both
+    # stay bounded far below the buffer.
+    for target in (0.005, 0.020):
+        assert medians[(target, True, "pie")] < 60.0
+        assert medians[(target, True, "pi2")] < 80.0
+    # The target knob moves the whole distribution: for the pure-TCP panel
+    # the 20 ms-target median is clearly above the 5 ms-target one.
+    for name in ("pie", "pi2"):
+        assert medians[(0.020, False, name)] > medians[(0.005, False, name)]

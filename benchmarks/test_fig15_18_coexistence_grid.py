@@ -1,0 +1,224 @@
+"""Figures 15–18 — the coexistence grid: rate balance, queue delay,
+signal probability and utilization over link ∈ {4,12,40,120,200} Mb/s ×
+RTT ∈ {5,10,20,50,100} ms, one long-running flow per congestion control.
+
+Paper shapes:
+
+* Fig 15 — under PIE, DCTCP starves Cubic (ratio ≈ 0.1); under coupled
+  PI+PI2 the Cubic/DCTCP ratio stays ≈ 1 across the grid.  The
+  Cubic/ECN-Cubic control pair is ≈ 1 under both AQMs.
+* Fig 16 — queue delay ≈ the 20 ms target for both AQMs everywhere.
+* Fig 17 — the DCTCP marking probability is ≈ 2√(p_Cubic) under PI2
+  (the k = 2 coupling), and far higher than Cubic's under PIE too (which
+  is *why* DCTCP starves Cubic there: same probability, more aggressive
+  response).
+* Fig 18 — utilization stays high (≳ 90 %) across the grid.
+
+Scale-down: per-cell durations grow with RTT (convergence) and shrink
+with link rate (cost).  Cells whose duration cannot cover DCTCP's
+~BDP-round-trips convergence time (the high-BDP corner: 120/200 Mb/s at
+50/100 ms) are printed but excluded from assertions — see
+:func:`converged`; the paper's own footnote 5 reports a Linux BDP-
+limiting bug corrupting exactly that corner of its grid.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.harness import coupled_factory, pie_factory
+from repro.harness.sweep import PAPER_LINK_MBPS, PAPER_RTTS_MS, format_table, run_coexistence_grid
+from repro.metrics.stats import geometric_mean
+
+#: Measurement duration per RTT (convergence) and cap per link rate (cost).
+_CONV_DURATION = {5: 10.0, 10: 12.0, 20: 16.0, 50: 24.0, 100: 44.0}
+_RATE_CAP = {4: 44.0, 12: 44.0, 40: 44.0, 120: 16.0, 200: 14.0}
+
+WARMUP = 8.0
+
+
+def duration_for(link, rtt):
+    return min(_RATE_CAP[link], _CONV_DURATION[rtt])
+
+
+def converged(link, rtt):
+    """Whether the cell's run length covers DCTCP's convergence time.
+
+    A DCTCP flow grabbing its bandwidth share by additive increase needs
+    on the order of BDP (in segments) round trips; cells whose budgeted
+    duration falls short are printed but excluded from assertions — the
+    same high-BDP corner where the paper's own results were corrupted by
+    the Linux BDP-limiting bug its footnote 5 describes.
+    """
+    rtt_s = rtt / 1000.0
+    bdp_segments = link * 1e6 * rtt_s / (8 * 1448)
+    needed = WARMUP + 0.75 * bdp_segments * rtt_s
+    return duration_for(link, rtt) >= needed
+
+
+def run_grids(grid_cache):
+    if "dctcp" not in grid_cache:
+        grid_cache["dctcp"] = {
+            name: run_coexistence_grid(
+                factory, cc_a="dctcp", cc_b="cubic",
+                duration_for=duration_for, warmup=WARMUP,
+            )
+            for name, factory in (("pie", pie_factory()), ("pi2", coupled_factory()))
+        }
+        grid_cache["ecn"] = {
+            name: run_coexistence_grid(
+                factory, cc_a="ecn-cubic", cc_b="cubic",
+                links_mbps=(4, 40, 200), rtts_ms=(5, 20, 100),
+                duration_for=duration_for, warmup=WARMUP,
+            )
+            for name, factory in (("pie", pie_factory()), ("pi2", coupled_factory()))
+        }
+    return grid_cache
+
+
+def _included(cell):
+    return converged(cell.link_mbps, cell.rtt_ms)
+
+
+def test_fig15_rate_balance(benchmark, grid_cache):
+    grids = run_once(benchmark, lambda: run_grids(grid_cache))
+
+    rows = []
+    ratios = {"pie": [], "pi2": []}
+    for name in ("pie", "pi2"):
+        for cell in grids["dctcp"][name]:
+            ratio = cell.balance("cubic", "dctcp")
+            mark = "" if _included(cell) else " *excluded*"
+            rows.append((name, cell.link_mbps, cell.rtt_ms, ratio, mark))
+            if _included(cell):
+                ratios[name].append(ratio)
+    emit(
+        format_table(
+            ["aqm", "link [Mb/s]", "RTT [ms]", "Cubic/DCTCP ratio", ""],
+            rows,
+            title="Figure 15: rate balance (paper: PIE ≈ 0.1 — starvation;"
+            " PI2 ≈ 1)",
+        )
+    )
+    ecn_rows = []
+    for name in ("pie", "pi2"):
+        for cell in grids["ecn"][name]:
+            ecn_rows.append(
+                (name, cell.link_mbps, cell.rtt_ms, cell.balance("cubic", "ecn-cubic"))
+            )
+    emit(
+        format_table(
+            ["aqm", "link [Mb/s]", "RTT [ms]", "Cubic/ECN-Cubic ratio"],
+            ecn_rows,
+            title="Figure 15 control pair (paper: ≈ 1 under both AQMs)",
+        )
+    )
+
+    # PIE starves Cubic by roughly an order of magnitude on average.
+    assert geometric_mean(ratios["pie"]) < 0.25
+    # Coupled PI2 restores the balance to ≈ 1 on average ...
+    assert 0.4 < geometric_mean(ratios["pi2"]) < 2.5
+    # ... and in (almost) every included cell individually.
+    ok = [r for r in ratios["pi2"] if 0.2 < r < 5.0]
+    assert len(ok) >= len(ratios["pi2"]) - 2
+    # Control pair ≈ 1 under both AQMs.
+    for name in ("pie", "pi2"):
+        ctl = [c.balance("cubic", "ecn-cubic") for c in grids["ecn"][name]
+               if _included(c)]
+        assert 0.3 < geometric_mean(ctl) < 3.0, name
+
+
+def test_fig16_queue_delay_grid(benchmark, grid_cache):
+    grids = run_once(benchmark, lambda: run_grids(grid_cache))
+
+    rows = []
+    means = {"pie": [], "pi2": []}
+    for name in ("pie", "pi2"):
+        for cell in grids["dctcp"][name]:
+            s = cell.result.sojourn_summary(percentiles=(99,))
+            rows.append(
+                (name, cell.link_mbps, cell.rtt_ms, s["mean"] * 1e3, s["p99"] * 1e3)
+            )
+            if _included(cell):
+                means[name].append(s["mean"])
+    emit(
+        format_table(
+            ["aqm", "link [Mb/s]", "RTT [ms]", "q mean [ms]", "q p99 [ms]"],
+            rows,
+            title="Figure 16: queue delay across the grid (paper: ≈ 20 ms"
+            " target for both)",
+        )
+    )
+    # Grid-average queue delay near the 20 ms target for both AQMs.
+    for name in ("pie", "pi2"):
+        avg = float(np.mean(means[name]))
+        assert 0.005 < avg < 0.045, (name, avg)
+
+
+def test_fig17_mark_probability(benchmark, grid_cache):
+    grids = run_once(benchmark, lambda: run_grids(grid_cache))
+
+    rows = []
+    couple_err = []
+    for cell in grids["dctcp"]["pi2"]:
+        aqm = cell.result.aqm
+        # Time-series percentiles of ps, as the paper's figure reports.
+        s = cell.result.probability_summary(percentiles=(25, 99))
+        ps = aqm.probability          # final DCTCP marking probability
+        pc = aqm.classic_probability  # final Cubic drop probability
+        rows.append(
+            ("pi2", cell.link_mbps, cell.rtt_ms,
+             s["p25"] * 100, s["mean"] * 100, s["p99"] * 100, pc * 100)
+        )
+        if _included(cell) and pc > 1e-6:
+            couple_err.append(ps / (2 * math.sqrt(pc)))
+    for cell in grids["dctcp"]["pie"]:
+        s = cell.result.probability_summary(percentiles=(25, 99))
+        rows.append(
+            ("pie", cell.link_mbps, cell.rtt_ms,
+             s["p25"] * 100, s["mean"] * 100, s["p99"] * 100, s["mean"] * 100)
+        )
+    emit(
+        format_table(
+            ["aqm", "link [Mb/s]", "RTT [ms]", "p25 [%]", "p mean [%]",
+             "p99 [%]", "p classic [%]"],
+            rows,
+            title="Figure 17: drop/mark probability P25/mean/P99 (paper:"
+            " ps = 2*sqrt(pc) under PI2; single p under PIE)",
+        )
+    )
+    # The k = 2 coupling holds exactly by construction; verify end-to-end.
+    assert all(abs(e - 1.0) < 1e-6 for e in couple_err)
+    # The scalable probability exceeds the classic one wherever p < 1.
+    for cell in grids["dctcp"]["pi2"]:
+        aqm = cell.result.aqm
+        if 0 < aqm.probability < 1:
+            assert aqm.classic_probability < aqm.probability
+
+
+def test_fig18_utilization(benchmark, grid_cache):
+    grids = run_once(benchmark, lambda: run_grids(grid_cache))
+
+    rows = []
+    utils = {"pie": [], "pi2": []}
+    for name in ("pie", "pi2"):
+        for cell in grids["dctcp"][name]:
+            u = cell.result.utilization_summary()
+            rows.append(
+                (name, cell.link_mbps, cell.rtt_ms, u["mean"] * 100,
+                 u["p1"] * 100, u["p99"] * 100)
+            )
+            if _included(cell):
+                utils[name].append(u["mean"])
+    emit(
+        format_table(
+            ["aqm", "link [Mb/s]", "RTT [ms]", "util mean [%]", "p1 [%]", "p99 [%]"],
+            rows,
+            title="Figure 18: link utilization (paper: high across the grid)",
+        )
+    )
+    for name in ("pie", "pi2"):
+        assert float(np.mean(utils[name])) > 0.88, name
+        assert min(utils[name]) > 0.70, name

@@ -1,0 +1,103 @@
+"""Figures 19 and 20 — throughput balance and normalized per-flow rates
+across flow-count combinations.
+
+Paper setup: 40 Mb/s link, 10 ms RTT; the number of flows of class A
+(DCTCP or ECN-Cubic) and class B (Cubic) sweeps through A1-B1 … A10-B0
+style combinations.
+
+Paper shapes:
+
+* Fig 19 — the per-flow DCTCP/Cubic ratio under PIE is ~10 regardless of
+  the mix; under coupled PI2 it stays ≈ 1 for every combination.
+* Fig 20 — normalized per-flow rates (rate ÷ capacity/total-flows) sit
+  near 1 for both classes under PI2, while under PIE the DCTCP flows sit
+  far above 1 and the Cubic flows far below.
+
+Scale-down: 25 s runs, a representative subset of the paper's mixes.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.harness import coupled_factory, pie_factory, run_mix_sweep
+from repro.harness.sweep import format_table
+from repro.metrics.stats import geometric_mean, normalized_rates
+
+MIXES = ((1, 1), (1, 9), (5, 5), (9, 1), (2, 8), (8, 2))
+CAPACITY_MBPS = 40.0
+
+
+def run_sweeps(mix_cache):
+    if "pie" not in mix_cache:
+        for name, factory in (("pie", pie_factory()), ("pi2", coupled_factory())):
+            mix_cache[name] = run_mix_sweep(
+                factory, mixes=MIXES, capacity_mbps=CAPACITY_MBPS,
+                rtt_ms=10.0, duration=25.0, warmup=10.0,
+            )
+    return mix_cache
+
+
+def test_fig19_throughput_balance_vs_mix(benchmark, mix_cache):
+    sweeps = run_once(benchmark, lambda: run_sweeps(mix_cache))
+
+    rows = []
+    ratios = {"pie": [], "pi2": []}
+    for name in ("pie", "pi2"):
+        for (n_a, n_b), result in sweeps[name].items():
+            ratio = result.balance("dctcp", "cubic")
+            rows.append((name, f"A{n_a}-B{n_b}", ratio))
+            ratios[name].append(ratio)
+    emit(
+        format_table(
+            ["aqm", "mix (A=dctcp B=cubic)", "DCTCP/Cubic per-flow ratio"],
+            rows,
+            title="Figure 19: rate balance vs flow mix, 40 Mb/s, 10 ms RTT\n"
+            "paper shape: PIE ~10 for every mix; PI2 ≈ 1 for every mix",
+        )
+    )
+
+    # PIE's imbalance is large for every mix; PI2's near 1 for every mix.
+    assert geometric_mean(ratios["pie"]) > 4.0
+    assert 0.4 < geometric_mean(ratios["pi2"]) < 2.5
+    for r in ratios["pi2"]:
+        assert 0.25 < r < 4.0
+    # PI2 beats PIE on balance in every single mix.
+    for (pie_r, pi2_r) in zip(ratios["pie"], ratios["pi2"]):
+        assert abs(np.log(pi2_r)) < abs(np.log(pie_r))
+
+
+def test_fig20_normalized_rates(benchmark, mix_cache):
+    sweeps = run_once(benchmark, lambda: run_sweeps(mix_cache))
+
+    rows = []
+    stats = {"pie": {"dctcp": [], "cubic": []}, "pi2": {"dctcp": [], "cubic": []}}
+    for name in ("pie", "pi2"):
+        for (n_a, n_b), result in sweeps[name].items():
+            total = n_a + n_b
+            for label in ("dctcp", "cubic"):
+                norm = normalized_rates(
+                    result.goodputs(label), CAPACITY_MBPS * 1e6, total
+                )
+                if norm:
+                    stats[name][label].extend(norm)
+                    rows.append(
+                        (name, f"A{n_a}-B{n_b}", label,
+                         float(np.mean(norm)), float(np.min(norm)),
+                         float(np.max(norm)))
+                    )
+    emit(
+        format_table(
+            ["aqm", "mix", "class", "norm mean", "min", "max"],
+            rows,
+            title="Figure 20: normalized per-flow rate (1 = fair share)\n"
+            "paper shape: PI2 both classes ≈ 1; PIE dctcp >> 1 >> cubic",
+        )
+    )
+
+    # Under PI2 both classes sit near the fair share ...
+    for label in ("dctcp", "cubic"):
+        mean_norm = float(np.mean(stats["pi2"][label]))
+        assert 0.4 < mean_norm < 2.2, (label, mean_norm)
+    # ... under PIE the classes are split around it by a large factor.
+    assert float(np.mean(stats["pie"]["dctcp"])) > 1.5
+    assert float(np.mean(stats["pie"]["cubic"])) < 0.5

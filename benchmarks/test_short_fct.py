@@ -1,0 +1,86 @@
+"""Section 6 — short flow completion times under web-like workloads.
+
+Paper: "mixed short flow completion times with PIE, bare PIE and PI2
+under both heavy and light Web-like workloads were essentially the same".
+
+This bench drives a Poisson stream of heavy-tailed short TCP flows
+through the bottleneck alongside nothing else (the workload itself is the
+load) and compares mean/P95 FCT across the three AQMs.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.harness import MBPS, bare_pie_factory, pi2_factory, pie_factory
+from repro.harness.topology import Dumbbell
+from repro.harness.sweep import format_table
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.traffic.web import WebWorkload
+
+CAPACITY = 20 * MBPS
+RTT = 0.020
+DURATION = 30.0
+
+
+def run_one(factory, arrival_rate, seed=3):
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    bed = Dumbbell(sim, streams, CAPACITY, factory(streams.stream("aqm")),
+                   record_sojourns=False)
+
+    def spawn(size, on_complete):
+        bed.add_tcp_flow(
+            "cubic", rtt=RTT, start=sim.now, flow_size=size, jitter=0.0,
+        ).on_complete = on_complete
+
+    workload = WebWorkload(
+        sim, spawn, arrival_rate=arrival_rate, rng=streams.stream("web"),
+        size_max=500,
+    )
+    workload.start(0.5, until=DURATION - 5.0)
+    sim.run(DURATION)
+    return workload
+
+
+def run_all():
+    out = {}
+    for load_name, rate in (("light", 20.0), ("heavy", 60.0)):
+        for aqm_name, factory in (
+            ("pie", pie_factory()),
+            ("bare-pie", bare_pie_factory()),
+            ("pi2", pi2_factory()),
+        ):
+            out[(load_name, aqm_name)] = run_one(factory, rate)
+    return out
+
+
+def test_short_flow_completion_times(benchmark):
+    results = run_once(benchmark, run_all)
+
+    rows = []
+    fcts = {}
+    for (load, aqm), wl in results.items():
+        mean = wl.mean_fct()
+        p95 = wl.percentile_fct(95)
+        done = len(wl.completion_times)
+        fcts[(load, aqm)] = mean
+        rows.append((load, aqm, done, mean * 1e3, p95 * 1e3))
+
+    emit(
+        format_table(
+            ["load", "aqm", "flows done", "mean FCT [ms]", "p95 FCT [ms]"],
+            rows,
+            title="Short-flow completion times (paper: PIE = bare-PIE = PI2,"
+            " essentially)",
+        )
+    )
+
+    # Every workload completed a healthy number of flows.
+    for (load, aqm), wl in results.items():
+        assert len(wl.completion_times) > 100, (load, aqm)
+    # The three AQMs are essentially the same (within 2x on mean FCT
+    # at each load level — the paper says indistinguishable).
+    for load in ("light", "heavy"):
+        means = [fcts[(load, a)] for a in ("pie", "bare-pie", "pi2")]
+        assert max(means) / min(means) < 2.0, load

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Stability analysis demo: regenerate the paper's Bode-margin insight.
+
+Sweeps the operating-point probability and prints gain margins for:
+
+* fixed-gain PI on Reno (Figure 4, tune = 1) — the margin runs diagonally
+  and goes **negative** (unstable) at low p;
+* PIE's auto-tuned gains — rescued by the stepped table;
+* PI2 (squared output, 2.5× gains) and Scalable-on-PI (5× gains) —
+  flat, positive margins across the whole range (Figure 7).
+
+An ASCII rendering of the gain-margin curves makes the 'diagonal vs flat'
+contrast visible in the terminal.
+
+Run:  python examples/bode_analysis.py
+"""
+
+from repro.analysis.bode import (
+    margins_reno_pi,
+    margins_reno_pi2,
+    margins_reno_pie,
+    margins_scal_pi,
+)
+from repro.analysis.fluid import PAPER_PI2_GAINS, PAPER_PIE_GAINS, PAPER_SCAL_GAINS
+
+R0 = 0.1  # the paper's 100 ms analysis RTT
+PROBS = [1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5]
+
+
+def gm(margins):
+    return margins.gain_margin_db if margins.gain_margin_db is not None else float("nan")
+
+
+def row_for(p):
+    return {
+        "pi(tune=1)": gm(margins_reno_pi(p, R0, PAPER_PIE_GAINS)),
+        "pie(auto)": gm(margins_reno_pie(p, R0, PAPER_PIE_GAINS)),
+        "pi2": gm(margins_reno_pi2(p, R0, PAPER_PI2_GAINS)),
+        "scal-pi": gm(margins_scal_pi(p, R0, PAPER_SCAL_GAINS)),
+    }
+
+
+def ascii_gauge(value, lo=-30.0, hi=30.0, width=30):
+    """Render a margin as a gauge with the stability boundary at centre."""
+    pos = int((max(lo, min(hi, value)) - lo) / (hi - lo) * width)
+    cells = ["-"] * width
+    centre = width // 2
+    cells[centre] = "|"
+    marker = "X" if value < 0 else "O"
+    cells[min(pos, width - 1)] = marker
+    return "".join(cells)
+
+
+def main():
+    print(f"Bode gain margins, Reno fluid model, R0 = {R0 * 1e3:.0f} ms, T = 32 ms")
+    print("gauge: -30 dB .... 0 (stability boundary) .... +30 dB;"
+          " X = unstable\n")
+
+    rows = {p: row_for(p) for p in PROBS}
+    for config in ("pi(tune=1)", "pie(auto)", "pi2", "scal-pi"):
+        print(f"--- {config} ---")
+        for p in PROBS:
+            value = rows[p][config]
+            print(f"  p={p:8.5f}  GM {value:7.2f} dB  {ascii_gauge(value)}")
+        print()
+
+    print("The fixed-gain diagonal crosses zero near p ≈ 1 %; squaring the")
+    print("output (PI2) flattens it, leaving room for 2.5x higher gains —")
+    print("the paper's ~5.5 dB responsiveness improvement without instability.")
+
+
+if __name__ == "__main__":
+    main()

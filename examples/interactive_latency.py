@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Interactive-application latency: the paper's motivation, end to end.
+
+"Interactive latency-sensitive applications are becoming prevalent on the
+public Internet ... perception of quality tends to be dominated by worst
+case delays."  This demo puts a VoIP-like flow (200 B every 20 ms) behind
+the same 10 Mb/s bottleneck as five bulk Cubic transfers and measures
+what the application actually experiences under four queue disciplines:
+
+* tail-drop      — bufferbloat: the voice flow rides a full buffer;
+* PIE            — queuing pinned near the 20 ms target;
+* PI2            — same target, simpler AQM, slightly tighter tail;
+* DualQ Coupled  — the paper's end goal: the voice flow opts into the
+  Scalable queue (ECT(1)) and sees ~millisecond delay while the bulk
+  transfers keep their throughput.
+
+Run:  python examples/interactive_latency.py
+"""
+
+from repro.aqm.dualq import DualQueueCoupledAqm
+from repro.harness import MBPS, pi2_factory, pie_factory
+from repro.harness.topology import Dumbbell
+from repro.harness.sweep import format_table
+from repro.net.packet import ECN
+from repro.net.queue import AQMQueue
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+
+CAPACITY = 10 * MBPS
+RTT = 0.040
+DURATION = 30.0
+
+
+def run(kind):
+    sim = Simulator()
+    streams = RandomStreams(11)
+    voice_ecn = ECN.NOT_ECT
+
+    if kind == "tail-drop":
+        bed = Dumbbell(sim, streams, CAPACITY, None, buffer_packets=400)
+    elif kind == "PIE":
+        bed = Dumbbell(sim, streams, CAPACITY,
+                       pie_factory()(streams.stream("aqm")))
+    elif kind == "PI2":
+        bed = Dumbbell(sim, streams, CAPACITY,
+                       pi2_factory()(streams.stream("aqm")))
+    else:  # DualQ: the voice flow declares ECT(1) and rides the L queue
+        queue = DualQueueCoupledAqm(sim, CAPACITY, rng=streams.stream("aqm"))
+        bed = Dumbbell(sim, streams, CAPACITY, aqm=None, queue=queue)
+        voice_ecn = ECN.ECT1
+
+    for _ in range(5):
+        bed.add_tcp_flow("cubic", rtt=RTT)
+    source, sink = bed.add_realtime_flow(rtt=RTT, ecn=voice_ecn)
+    sim.at(5.0, bed.flows.open_windows, 5.0)  # goodput after warm-up
+    sim.run(DURATION)
+
+    bulk = sum(bed.goodput_bps("cubic", DURATION)) / 1e6
+    return (
+        kind,
+        sink.mean_delay() * 1e3,
+        sink.delay_percentile(99) * 1e3,
+        sink.jitter * 1e3,
+        sink.loss_fraction(source.sent) * 100,
+        bulk,
+    )
+
+
+def main():
+    print("A VoIP flow (200 B / 20 ms) sharing 10 Mb/s with 5 bulk Cubic flows\n")
+    rows = [run(kind) for kind in ("tail-drop", "PIE", "PI2", "DualQ")]
+    print(
+        format_table(
+            ["queue", "delay mean [ms]", "delay p99 [ms]", "jitter [ms]",
+             "loss [%]", "bulk goodput [Mb/s]"],
+            rows,
+        )
+    )
+    print("\nWorst-case (P99) delay is what users perceive: AQM cuts it by an")
+    print("order of magnitude, and DualQ by another — without hurting the bulk")
+    print("transfers. 'Ultra-low delay for all.'")
+
+
+if __name__ == "__main__":
+    main()

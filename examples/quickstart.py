@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Quickstart: run a PI2 AQM over a simulated bottleneck in ~20 lines.
+
+Builds the paper's canonical single-bottleneck scenario — five long-running
+TCP Reno flows through a 10 Mb/s link with 100 ms RTT — once under plain
+tail-drop (bufferbloat) and once under PI2, and prints what the AQM buys:
+queue delay pinned near the 20 ms target at (almost) no throughput cost.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.harness import light_tcp, pi2_factory, run_experiment, taildrop_factory
+
+
+def describe(name, result):
+    delay = result.sojourn_summary()
+    print(f"\n{name}")
+    print(f"  queue delay   mean {delay['mean'] * 1e3:7.1f} ms"
+          f"   p99 {delay['p99'] * 1e3:7.1f} ms")
+    print(f"  link utilization   {result.mean_utilization() * 100:5.1f} %")
+    print(f"  packets dropped    {result.queue_stats.dropped}")
+    print(f"  packets CE-marked  {result.queue_stats.ce_marked}")
+
+
+def main():
+    print("PI2 quickstart: 5 Reno flows, 10 Mb/s bottleneck, 100 ms RTT, 30 s")
+
+    bloated = run_experiment(light_tcp(taildrop_factory(), duration=30.0))
+    describe("tail-drop only (bufferbloat)", bloated)
+
+    pi2 = run_experiment(light_tcp(pi2_factory(), duration=30.0))
+    describe("PI2 (target 20 ms)", pi2)
+
+    saved = (bloated.sojourn_summary()["mean"] - pi2.sojourn_summary()["mean"]) * 1e3
+    print(f"\nPI2 removed {saved:.0f} ms of standing queue while keeping "
+          f"{pi2.mean_utilization() * 100:.0f} % utilization.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim for legacy editable installs.
+
+The offline environment lacks the ``wheel`` package that PEP 660 editable
+installs need, so ``pip install -e . --no-build-isolation --no-use-pep517``
+falls back to this classic ``setup.py develop`` path.  All metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

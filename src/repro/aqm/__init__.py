@@ -1,0 +1,44 @@
+"""AQM substrate: interface, PIE and its lineage, plus the DualQ extension.
+
+The paper's own algorithms (PI2 and the coupled PI+PI2) live in
+:mod:`repro.core`; this package holds everything they are compared with or
+built from.
+"""
+
+from repro.aqm.adaptive import AdaptivePiAqm
+from repro.aqm.base import AQM, AQMStats, Decision, QueueView
+from repro.aqm.codel import CodelAqm
+from repro.aqm.curvy_red import CurvyRedAqm
+from repro.aqm.dualq import DualQueueCoupledAqm
+from repro.aqm.fixed import DeterministicMarker, FixedProbabilityAqm
+from repro.aqm.pi import PIController, PiAqm
+from repro.aqm.pie import BarePieAqm, PieAqm
+from repro.aqm.red import RedAqm
+from repro.aqm.step import StepThresholdAqm
+from repro.aqm.taildrop import TailDropAqm
+from repro.aqm.tune_table import K_PI2, K_PIE, TUNE_TABLE, sqrt2p, tune
+
+__all__ = [
+    "AQM",
+    "AQMStats",
+    "Decision",
+    "QueueView",
+    "PIController",
+    "PiAqm",
+    "AdaptivePiAqm",
+    "PieAqm",
+    "BarePieAqm",
+    "RedAqm",
+    "CurvyRedAqm",
+    "CodelAqm",
+    "TailDropAqm",
+    "DualQueueCoupledAqm",
+    "FixedProbabilityAqm",
+    "DeterministicMarker",
+    "StepThresholdAqm",
+    "tune",
+    "sqrt2p",
+    "TUNE_TABLE",
+    "K_PIE",
+    "K_PI2",
+]

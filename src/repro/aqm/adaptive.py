@@ -1,0 +1,81 @@
+"""Continuously self-tuning PI — the analytic limit of PIE's step table.
+
+Section 3 surveys self-tuning PI proposals (Hong et al. [21], Hong & Yang
+[20]) that retune gains to hold a specified stability margin, and notes
+implementations avoided them because they need estimates of N, C and R.
+Section 4 then shows PIE's stepped 'tune' table is itself an implicit
+self-tuner that "broadly fits √(2p)" — no traffic estimation required,
+because for Reno the operating point is observable through p itself.
+
+This AQM closes the circle: it scales the PI gains *continuously* by
+``tune(p) = √(2p)`` (clamped to [tune_min, 1]), i.e. PIE with the table
+replaced by the curve it approximates.  Section 4's expansion
+
+    (p' + Kπ)² ≈ p + 2Kp'π = p + √(2p)·(√2·K)·π
+
+says this is *equivalent to PI2 up to first order*: controlling p with
+gains √2·K scaled by √(2p) is the same as controlling p' = √p with
+constant gains K and squaring.  Hence the default gains here are √2 times
+PI2's (0.3125, 3.125).  The equivalence test in the suite checks exactly
+that — the two AQMs settle the same queue and probability.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Optional
+
+from repro.aqm.base import AQM, Decision
+from repro.aqm.pi import PIController
+from repro.net.packet import Packet
+
+__all__ = ["AdaptivePiAqm"]
+
+
+class AdaptivePiAqm(AQM):
+    """PI on the drop probability with continuous √(2p) gain scaling.
+
+    Parameters mirror :class:`~repro.aqm.pie.PieAqm` minus all heuristics;
+    ``tuner`` can replace the √(2p) law (e.g. with PIE's stepped table for
+    an exact-PIE-core comparison).
+    ``tune_min`` bounds the scaling away from zero so the controller can
+    move off p = 0 (the stepped table's smallest entry is 1/2048).
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.3125 * math.sqrt(2.0),
+        beta: float = 3.125 * math.sqrt(2.0),
+        target_delay: float = 0.020,
+        update_interval: float = 0.032,
+        tuner: Optional[Callable[[float], float]] = None,
+        tune_min: float = 1.0 / 2048.0,
+        ecn: bool = True,
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__()
+        if tune_min <= 0:
+            raise ValueError(f"tune_min must be positive (got {tune_min})")
+        self.controller = PIController(alpha, beta, target_delay)
+        self.update_interval = update_interval
+        self.tuner = tuner or (lambda p: math.sqrt(2.0 * p))
+        self.tune_min = tune_min
+        self.ecn = ecn
+        self.rng = rng or random.Random(0)
+
+    def update(self) -> None:
+        scale = max(self.tune_min, min(1.0, self.tuner(self.controller.p)))
+        self.controller.update(self.queue.queue_delay(), gain_scale=scale)
+
+    def on_enqueue(self, packet: Packet) -> Decision:
+        p = self.controller.p
+        if p <= 0.0 or self.rng.random() >= p:
+            return Decision.PASS
+        if self.ecn and packet.ecn_capable:
+            return Decision.MARK
+        return Decision.DROP
+
+    @property
+    def probability(self) -> float:
+        return self.controller.p

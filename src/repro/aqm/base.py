@@ -1,0 +1,156 @@
+"""Common AQM interface and the queue view it operates on.
+
+Every AQM in this repository — the paper's PI2 and coupled PI+PI2, the PIE
+baseline with all of its Linux heuristics, and the lineage algorithms (PI,
+RED, CoDel, Curvy RED) — implements the small :class:`AQM` interface:
+
+* :meth:`AQM.on_enqueue` is consulted for every arriving packet and returns
+  a :class:`Decision` (pass / CE-mark / drop).  This mirrors the enqueue-
+  side drop decision of the Linux ``sch_pie``/``sch_pi2`` qdiscs.
+* :meth:`AQM.on_dequeue` observes departures, which PIE's departure-rate
+  estimator and CoDel's sojourn logic need.
+* :meth:`AQM.attach` wires the AQM to a simulator (for its periodic update
+  timer — the PI family recomputes probability every ``T`` seconds) and to
+  the :class:`QueueView` it controls.
+
+The queue exposes only what a real qdisc can observe: byte/packet backlog
+and a queue-delay estimate.  Two estimators are provided, selected by the
+queue (see :mod:`repro.net.queue`): the exact backlog/capacity conversion,
+and PIE's measured departure-rate estimator.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.net.packet import Packet
+    from repro.sim.engine import Simulator
+
+
+__all__ = ["Decision", "QueueView", "AQM", "AQMStats"]
+
+
+class Decision(enum.Enum):
+    """Outcome of the enqueue-time AQM decision for one packet."""
+
+    PASS = "pass"
+    MARK = "mark"
+    DROP = "drop"
+
+
+class QueueView(Protocol):
+    """The slice of queue state visible to an AQM."""
+
+    def byte_length(self) -> int:
+        """Current backlog in bytes."""
+        ...
+
+    def packet_length(self) -> int:
+        """Current backlog in packets."""
+        ...
+
+    def queue_delay(self) -> float:
+        """Estimated queuing delay in seconds for a packet arriving now."""
+        ...
+
+
+class AQMStats:
+    """Counters shared by every AQM implementation."""
+
+    __slots__ = ("passed", "marked", "dropped", "decisions")
+
+    def __init__(self) -> None:
+        self.passed = 0
+        self.marked = 0
+        self.dropped = 0
+        self.decisions = 0
+
+    def record(self, decision: Decision) -> None:
+        self.decisions += 1
+        if decision is Decision.PASS:
+            self.passed += 1
+        elif decision is Decision.MARK:
+            self.marked += 1
+        else:
+            self.dropped += 1
+
+    @property
+    def signal_fraction(self) -> float:
+        """Fraction of packets that received a congestion signal."""
+        if self.decisions == 0:
+            return 0.0
+        return (self.marked + self.dropped) / self.decisions
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<AQMStats pass={self.passed} mark={self.marked} "
+            f"drop={self.dropped}>"
+        )
+
+
+class AQM:
+    """Base class for active queue management algorithms.
+
+    Subclasses override :meth:`on_enqueue` and, when they are timer-driven
+    (the whole PI family), :meth:`update`, which :meth:`attach` arranges to
+    run every :attr:`update_interval` seconds of virtual time.
+
+    The attribute :attr:`probability` exposes the algorithm's current
+    *applied* congestion-signal probability for instrumentation — this is
+    what Figure 17 plots.  For PI2 it is the squared value ``p = p'²``;
+    the internal linear value is exposed as :attr:`raw_probability`.
+    """
+
+    #: Period of the PI update timer in seconds; None = no timer (e.g. RED).
+    update_interval: Optional[float] = None
+
+    def __init__(self) -> None:
+        self.stats = AQMStats()
+        self.sim: Optional["Simulator"] = None
+        self.queue: Optional[QueueView] = None
+        self._timer = None
+
+    # -- lifecycle ------------------------------------------------------
+    def attach(self, sim: "Simulator", queue: QueueView) -> None:
+        """Bind to a simulator and queue; starts the update timer if any."""
+        self.sim = sim
+        self.queue = queue
+        if self.update_interval is not None:
+            self._timer = sim.every(self.update_interval, self.update)
+
+    def detach(self) -> None:
+        """Stop the update timer (used when tearing down an experiment)."""
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
+
+    # -- datapath hooks ---------------------------------------------------
+    def decide(self, packet: "Packet") -> Decision:
+        """Run :meth:`on_enqueue` and record the outcome in :attr:`stats`."""
+        decision = self.on_enqueue(packet)
+        self.stats.record(decision)
+        return decision
+
+    def on_enqueue(self, packet: "Packet") -> Decision:
+        """Per-packet decision; override in subclasses."""
+        return Decision.PASS
+
+    def on_dequeue(self, packet: "Packet", now: float) -> None:
+        """Departure observation; override if the algorithm needs it."""
+
+    def update(self) -> None:
+        """Periodic probability recomputation; override in PI-family AQMs."""
+
+    # -- instrumentation --------------------------------------------------
+    @property
+    def probability(self) -> float:
+        """Currently applied congestion-signal probability (for plots)."""
+        return 0.0
+
+    @property
+    def raw_probability(self) -> float:
+        """Internal controller variable (``p'`` for PI2); defaults to
+        :attr:`probability` for single-stage algorithms."""
+        return self.probability

@@ -1,0 +1,96 @@
+"""CoDel (Nichols & Jacobson [27]) — the time-units lineage baseline.
+
+Section 3 credits CoDel with teaching PIE to measure the queue in units of
+time.  CoDel is dequeue-driven: it tracks the per-packet sojourn time and,
+once the sojourn has stayed above ``target`` for an ``interval``, enters a
+dropping state in which drops are spaced by ``interval/√count`` (the
+control law that pressures Reno-like flows whose rate scales as 1/√p).
+
+Our queue consults AQMs at *enqueue* time, so this implementation keeps
+the canonical state machine but evaluates it against the head-of-line
+sojourn observed at dequeue and applies the pending drop decision to the
+next arrival.  For the long-running-flow scenarios in this repository the
+behaviour matches dequeue-side CoDel closely; it is a comparison baseline,
+not a reproduction target.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.aqm.base import AQM, Decision
+from repro.net.packet import Packet
+
+__all__ = ["CodelAqm"]
+
+
+class CodelAqm(AQM):
+    """CoDel with the standard 5 ms target / 100 ms interval defaults."""
+
+    def __init__(
+        self,
+        target: float = 0.005,
+        interval: float = 0.100,
+        ecn: bool = True,
+    ):
+        super().__init__()
+        if target <= 0 or interval <= 0:
+            raise ValueError("target and interval must be positive")
+        self.target = target
+        self.interval = interval
+        self.ecn = ecn
+        self.dropping = False
+        self.count = 0
+        self.first_above_time: Optional[float] = None
+        self.drop_next = 0.0
+        self._signal_pending = False
+
+    # ------------------------------------------------------------------
+    def _control_law(self, t: float) -> float:
+        return t + self.interval / math.sqrt(self.count)
+
+    def on_dequeue(self, packet: Packet, now: float) -> None:
+        sojourn = now - packet.enqueue_time
+        if sojourn < self.target:
+            self.first_above_time = None
+            if self.dropping:
+                self.dropping = False
+            return
+        if not self.dropping:
+            if self.first_above_time is None:
+                self.first_above_time = now + self.interval
+            elif now >= self.first_above_time:
+                self.dropping = True
+                # Resume from the previous count if we re-enter quickly.
+                if now - self.drop_next < 8 * self.interval and self.count > 2:
+                    self.count -= 2
+                else:
+                    self.count = 1
+                self.drop_next = self._control_law(now)
+        elif now >= self.drop_next:
+            self.count += 1
+            self._signal_pending = True
+            self.drop_next = self._control_law(self.drop_next)
+
+    def on_enqueue(self, packet: Packet) -> Decision:
+        if not self._signal_pending:
+            return Decision.PASS
+        self._signal_pending = False
+        if self.ecn and packet.ecn_capable:
+            return Decision.MARK
+        return Decision.DROP
+
+    @property
+    def probability(self) -> float:
+        """CoDel has no explicit probability; expose a rough equivalent.
+
+        While dropping, signals are spaced ``interval/√count`` apart in
+        time; dividing the spacing into an assumed per-interval packet
+        budget would need the link rate, so we simply report
+        ``min(1, √count · target/interval)`` as a monotone proxy used only
+        for instrumentation plots.
+        """
+        if not self.dropping:
+            return 0.0
+        return min(1.0, math.sqrt(self.count) * self.target / self.interval)

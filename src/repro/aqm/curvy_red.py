@@ -1,0 +1,80 @@
+"""Curvy RED — the coupled-AQM example from the DualQ IETF draft [13].
+
+Section 3 notes that the dual-queue coupled AQM draft "is written
+sufficiently generically that it covers the PI2 approach, but the example
+AQM it gives is based on a RED-like AQM called Curvy RED".  It is included
+as the alternative coupled output stage so benchmarks can compare the
+PI-based coupling of this paper against the draft's RED-based one.
+
+Curvy RED derives both probabilities directly from the instantaneous
+queue delay ``q`` against a scaling constant: the Scalable branch is a
+linear ramp and the Classic branch the *square* of a (half-slope) ramp —
+the same ``pc = (ps/k)²`` coupling shape as equation (14), but driven by
+queue position rather than by a PI controller, so it inherits RED's
+push-back-with-delay behaviour instead of holding delay at a target:
+
+    ps = clamp(q / (k_curvy · range)),       pc = clamp(q / (2·k_curvy·range))²
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.aqm.base import AQM, Decision
+from repro.net.packet import Packet
+
+__all__ = ["CurvyRedAqm"]
+
+
+class CurvyRedAqm(AQM):
+    """Curvy RED with ECN-based Scalable/Classic classification.
+
+    Parameters
+    ----------
+    range_delay:
+        Queue delay at which the Scalable ramp reaches 1 (with
+        ``k_curvy = 1``); plays the role of RED's max threshold.
+    k_curvy:
+        Slope divisor; the Classic branch uses ``2·k_curvy`` and squares,
+        giving the equation (14) relation between the two branches.
+    """
+
+    def __init__(
+        self,
+        range_delay: float = 0.040,
+        k_curvy: float = 1.0,
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__()
+        if range_delay <= 0:
+            raise ValueError(f"range_delay must be positive (got {range_delay})")
+        if k_curvy <= 0:
+            raise ValueError(f"k_curvy must be positive (got {k_curvy})")
+        self.range_delay = range_delay
+        self.k_curvy = k_curvy
+        self.rng = rng or random.Random(0)
+
+    # ------------------------------------------------------------------
+    def _ps(self) -> float:
+        q = self.queue.queue_delay()
+        return min(1.0, q / (self.k_curvy * self.range_delay))
+
+    def on_enqueue(self, packet: Packet) -> Decision:
+        ps = self._ps()
+        if packet.is_scalable:
+            if ps > 0.0 and self.rng.random() < ps:
+                return Decision.MARK
+            return Decision.PASS
+        pc_prime = ps / 2.0
+        if pc_prime > 0.0 and max(self.rng.random(), self.rng.random()) < pc_prime:
+            return Decision.MARK if packet.ecn_capable else Decision.DROP
+        return Decision.PASS
+
+    @property
+    def probability(self) -> float:
+        return self._ps()
+
+    @property
+    def classic_probability(self) -> float:
+        return (self._ps() / 2.0) ** 2

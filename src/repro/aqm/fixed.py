@@ -1,0 +1,80 @@
+"""Fixed-probability Bernoulli marker/dropper.
+
+Appendix A's window laws assume "an idealized uniform ... marker, which
+marks every 1/p packets" or its Bernoulli equivalent.  This AQM applies a
+*constant* congestion-signal probability, making it the oracle the
+integration tests use to measure each TCP model's steady-state window
+against equations (5)–(12), and a convenient primitive for examples.
+
+Two flavours:
+
+* :class:`FixedProbabilityAqm` — i.i.d. Bernoulli(p) per packet.
+* :class:`DeterministicMarker` — marks exactly every ``round(1/p)``-th
+  packet, the literal "uniform deterministic marker" of Appendix A (less
+  variance; DCTCP's law is derived against this).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.aqm.base import AQM, Decision
+from repro.net.packet import Packet
+
+__all__ = ["FixedProbabilityAqm", "DeterministicMarker"]
+
+
+class FixedProbabilityAqm(AQM):
+    """Signal each packet independently with constant probability ``p``."""
+
+    def __init__(self, p: float, rng: Optional[random.Random] = None, ecn: bool = True):
+        super().__init__()
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability must be in [0,1] (got {p})")
+        self.p = p
+        self.rng = rng or random.Random(0)
+        self.ecn = ecn
+
+    def on_enqueue(self, packet: Packet) -> Decision:
+        if self.p <= 0.0 or self.rng.random() >= self.p:
+            return Decision.PASS
+        if self.ecn and packet.ecn_capable:
+            return Decision.MARK
+        return Decision.DROP
+
+    @property
+    def probability(self) -> float:
+        return self.p
+
+
+class DeterministicMarker(AQM):
+    """Signal exactly every ``round(1/p)``-th packet (per-flow counters).
+
+    Per-flow spacing matters: with several flows sharing the queue, a
+    global counter would give each flow a *random* subset of marks, losing
+    the determinism the idealized model assumes.
+    """
+
+    def __init__(self, p: float, ecn: bool = True):
+        super().__init__()
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"probability must be in (0,1] (got {p})")
+        self.p = p
+        self.interval = max(1, round(1.0 / p))
+        self.ecn = ecn
+        self._counters: dict[int, int] = {}
+
+    def on_enqueue(self, packet: Packet) -> Decision:
+        count = self._counters.get(packet.flow_id, 0) + 1
+        if count < self.interval:
+            self._counters[packet.flow_id] = count
+            return Decision.PASS
+        self._counters[packet.flow_id] = 0
+        if self.ecn and packet.ecn_capable:
+            return Decision.MARK
+        return Decision.DROP
+
+    @property
+    def probability(self) -> float:
+        return 1.0 / self.interval

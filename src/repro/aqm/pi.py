@@ -1,0 +1,127 @@
+"""The basic Proportional Integral AQM (Hollot et al. [18]).
+
+This is the core controller of the whole PIE/PI2 family (the paper's
+Figure 2 / equation (4)): every update interval ``T``,
+
+    p(t) = p(t−T) + α·(τ(t) − τ₀) + β·(τ(t) − τ(t−T)),
+
+with τ the queuing delay, τ₀ the target, α the integral gain and β the
+proportional gain (both in Hz), and p clamped to [0, 1].  The probability
+is applied directly to packets — drop for Not-ECT, CE-mark for
+ECN-capable traffic.
+
+Two roles in the paper:
+
+* With fixed Classic-scale gains and no squaring it is the **'pi' curve of
+  Figure 6** — the demonstration that an un-tuned PI controller driving
+  Classic TCP over-reacts at low load (p too small for fixed gains),
+  causing underutilization and an oscillating queue.
+* With the Scalable gains and applied to DCTCP it is the **'scal pi'
+  configuration of Figure 7** and the Scalable branch of the coupled AQM:
+  a Scalable control's window is linear in p (equation (11)), so the linear
+  controller needs no output-stage correction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.aqm.base import AQM, Decision
+from repro.net.packet import Packet
+
+__all__ = ["PIController", "PiAqm"]
+
+#: Paper defaults (Figure 6 caption): PIE-scale gains without auto-tuning.
+DEFAULT_ALPHA = 0.125
+DEFAULT_BETA = 1.25
+DEFAULT_TARGET = 0.020
+DEFAULT_T_UPDATE = 0.032
+
+
+class PIController:
+    """The bare PI difference equation, shared by PI, PIE, PI2 and coupled.
+
+    Keeps no opinion about what the output means (drop probability p for
+    PI/PIE, pseudo-probability p' for PI2) — that is exactly the
+    separation the paper introduces between the generic controller and the
+    congestion-control-specific output stage (Figure 1).
+    """
+
+    def __init__(
+        self,
+        alpha: float,
+        beta: float,
+        target: float,
+        p_max: float = 1.0,
+    ):
+        if alpha <= 0 or beta <= 0:
+            raise ValueError(f"gains must be positive (got alpha={alpha}, beta={beta})")
+        if target <= 0:
+            raise ValueError(f"target delay must be positive (got {target})")
+        if not 0.0 < p_max <= 1.0:
+            raise ValueError(f"p_max must be in (0,1] (got {p_max})")
+        self.alpha = alpha
+        self.beta = beta
+        self.target = target
+        self.p_max = p_max
+        self.p = 0.0
+        self.prev_delay = 0.0
+
+    def update(self, delay: float, gain_scale: float = 1.0) -> float:
+        """One controller step: equation (4), returning the new output.
+
+        ``gain_scale`` multiplies Δp; PIE's auto-tune passes its stepped
+        table value here, everyone else passes 1.
+        """
+        delta = (
+            self.alpha * (delay - self.target)
+            + self.beta * (delay - self.prev_delay)
+        ) * gain_scale
+        self.p = min(max(self.p + delta, 0.0), self.p_max)
+        self.prev_delay = delay
+        return self.p
+
+    def reset(self) -> None:
+        self.p = 0.0
+        self.prev_delay = 0.0
+
+
+class PiAqm(AQM):
+    """Plain PI AQM applying its output probability directly.
+
+    Parameters follow the paper's Figure 6 caption defaults.  ``rng``
+    must be supplied for reproducible drop decisions (use a stream from
+    :class:`repro.sim.RandomStreams`).
+    """
+
+    def __init__(
+        self,
+        alpha: float = DEFAULT_ALPHA,
+        beta: float = DEFAULT_BETA,
+        target_delay: float = DEFAULT_TARGET,
+        update_interval: float = DEFAULT_T_UPDATE,
+        p_max: float = 1.0,
+        ecn: bool = True,
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__()
+        self.controller = PIController(alpha, beta, target_delay, p_max)
+        self.update_interval = update_interval
+        self.ecn = ecn
+        self.rng = rng or random.Random(0)
+
+    def update(self) -> None:
+        self.controller.update(self.queue.queue_delay())
+
+    def on_enqueue(self, packet: Packet) -> Decision:
+        p = self.controller.p
+        if p <= 0.0 or self.rng.random() >= p:
+            return Decision.PASS
+        if self.ecn and packet.ecn_capable:
+            return Decision.MARK
+        return Decision.DROP
+
+    @property
+    def probability(self) -> float:
+        return self.controller.p

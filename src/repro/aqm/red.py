@@ -1,0 +1,110 @@
+"""Random Early Detection (Floyd & Jacobson), the PI lineage's ancestor.
+
+Section 3 traces PIE's evolution to Hollot et al.'s control-theoretic
+analysis of RED [19], which concluded that RED's approach — pushing back
+against higher load with *both* higher queuing delay and higher loss — was
+unnecessary and motivated the PI controller.  RED is included as the
+lineage baseline so the examples and ablations can show the behavioural
+difference: under RED the steady-state queue grows with load, whereas the
+PI family pins it to the target.
+
+Classic gentle-RED on the *average* queue delay (we use time-units like
+the rest of the repository; classic RED used bytes, but the algorithm is
+unchanged by the unit conversion):
+
+* EWMA average queue delay ``avg``;
+* no signal below ``min_th``; linear ramp of probability up to ``max_p``
+  at ``max_th``; gentle region ramping to 1 at ``2·max_th``;
+* optional count-based spreading of the drops (Floyd's uniformization).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.aqm.base import AQM, Decision
+from repro.net.packet import Packet
+
+__all__ = ["RedAqm"]
+
+
+class RedAqm(AQM):
+    """Gentle RED over queue delay.
+
+    Parameters
+    ----------
+    min_th, max_th:
+        Thresholds on the averaged queue delay, in seconds.
+    max_p:
+        Marking probability at ``max_th``.
+    weight:
+        EWMA weight for the average queue estimate.
+    gentle:
+        Ramp to probability 1 between ``max_th`` and ``2·max_th`` instead
+        of dropping everything above ``max_th``.
+    count_spread:
+        Apply Floyd's 1/(1 − count·p) inter-drop spreading.
+    """
+
+    def __init__(
+        self,
+        min_th: float = 0.010,
+        max_th: float = 0.030,
+        max_p: float = 0.10,
+        weight: float = 0.002,
+        gentle: bool = True,
+        ecn: bool = True,
+        count_spread: bool = True,
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__()
+        if not 0 < min_th < max_th:
+            raise ValueError(f"need 0 < min_th < max_th (got {min_th}, {max_th})")
+        if not 0 < max_p <= 1:
+            raise ValueError(f"max_p must be in (0,1] (got {max_p})")
+        if not 0 < weight <= 1:
+            raise ValueError(f"weight must be in (0,1] (got {weight})")
+        self.min_th = min_th
+        self.max_th = max_th
+        self.max_p = max_p
+        self.weight = weight
+        self.gentle = gentle
+        self.ecn = ecn
+        self.count_spread = count_spread
+        self.rng = rng or random.Random(0)
+        self.avg = 0.0
+        self._count = -1
+
+    def _instant_probability(self) -> float:
+        if self.avg < self.min_th:
+            return 0.0
+        if self.avg < self.max_th:
+            return self.max_p * (self.avg - self.min_th) / (self.max_th - self.min_th)
+        if self.gentle and self.avg < 2 * self.max_th:
+            return self.max_p + (1 - self.max_p) * (self.avg - self.max_th) / self.max_th
+        return 1.0
+
+    def on_enqueue(self, packet: Packet) -> Decision:
+        # EWMA update on every arrival, as classic RED does.
+        self.avg += self.weight * (self.queue.queue_delay() - self.avg)
+        p = self._instant_probability()
+        if p <= 0.0:
+            self._count = -1
+            return Decision.PASS
+        self._count += 1
+        if self.count_spread:
+            denom = 1.0 - self._count * p
+            pa = 1.0 if denom <= 0 else min(p / denom, 1.0)
+        else:
+            pa = p
+        if self.rng.random() >= pa:
+            return Decision.PASS
+        self._count = -1
+        if self.ecn and packet.ecn_capable and self.avg < self.max_th:
+            return Decision.MARK
+        return Decision.DROP
+
+    @property
+    def probability(self) -> float:
+        return self._instant_probability()

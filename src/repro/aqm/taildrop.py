@@ -1,0 +1,35 @@
+"""Tail-drop (no AQM) — the bufferbloat control condition.
+
+A queue with ``aqm=None`` already behaves as pure tail-drop; this explicit
+class exists so experiments can name the condition and so the examples can
+contrast 'no AQM' queue delay against the PI family (the bufferbloat
+motivation of the paper's introduction).  Optionally a shallower
+packet-count threshold than the physical buffer can be enforced here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.aqm.base import AQM, Decision
+from repro.net.packet import Packet
+
+__all__ = ["TailDropAqm"]
+
+
+class TailDropAqm(AQM):
+    """Drop arrivals once the backlog exceeds ``limit_packets`` (if set)."""
+
+    def __init__(self, limit_packets: Optional[int] = None):
+        super().__init__()
+        if limit_packets is not None and limit_packets <= 0:
+            raise ValueError(f"limit must be positive (got {limit_packets})")
+        self.limit_packets = limit_packets
+
+    def on_enqueue(self, packet: Packet) -> Decision:
+        if (
+            self.limit_packets is not None
+            and self.queue.packet_length() >= self.limit_packets
+        ):
+            return Decision.DROP
+        return Decision.PASS

@@ -1,0 +1,287 @@
+"""Command-line interface: run paper scenarios without writing code.
+
+Examples
+--------
+List what is available::
+
+    python -m repro list
+
+Run a steady-state scenario and print the summary::
+
+    python -m repro run --scenario light --aqm pi2 --duration 30
+
+Coexistence at one grid point (Figure 15's metric)::
+
+    python -m repro coexist --aqm coupled --link 40 --rtt 10
+
+Bode margins at an operating point (Appendix B)::
+
+    python -m repro bode --kind reno_pi2 --p 0.01 --rtt 100
+
+Fluid-model trajectory (Appendix B, time domain)::
+
+    python -m repro fluid --flows 5 --link 10 --rtt 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.bode import (
+    margins_reno_pi,
+    margins_reno_pi2,
+    margins_reno_pie,
+    margins_scal_pi,
+)
+from repro.analysis.fluid import PiGains
+from repro.analysis.timedomain import FluidScenario, simulate_fluid
+from repro.harness import (
+    FACTORIES,
+    MBPS,
+    coexistence_pair,
+    heavy_tcp,
+    light_tcp,
+    run_experiment,
+    tcp_plus_udp,
+    varying_capacity,
+    varying_intensity,
+)
+from repro.harness.sweep import format_table
+
+__all__ = ["main"]
+
+SCENARIOS = {
+    "light": light_tcp,
+    "heavy": heavy_tcp,
+    "udp": tcp_plus_udp,
+    "intensity": varying_intensity,
+    "capacity": varying_capacity,
+}
+
+BODE_KINDS = {
+    "reno_pi": lambda p, r0, g: margins_reno_pi(p, r0, g),
+    "reno_pie": lambda p, r0, g: margins_reno_pie(p, r0, g),
+    "reno_pi2": lambda p, r0, g: margins_reno_pi2(p, r0, g),
+    "scal_pi": lambda p, r0, g: margins_scal_pi(p, r0, g),
+}
+
+DEFAULT_GAINS = {
+    "reno_pi": (0.125, 1.25),
+    "reno_pie": (0.125, 1.25),
+    "reno_pi2": (0.3125, 3.125),
+    "scal_pi": (0.625, 6.25),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PI2 (CoNEXT 2016) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list scenarios and AQMs")
+
+    run = sub.add_parser("run", help="run a canned scenario")
+    run.add_argument("--scenario", choices=sorted(SCENARIOS), default="light")
+    run.add_argument("--aqm", choices=sorted(FACTORIES), default="pi2")
+    run.add_argument("--duration", type=float, default=30.0,
+                     help="simulated seconds (stage length for dynamic scenarios)")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--json", metavar="PATH",
+                     help="also write the result summary as JSON")
+
+    co = sub.add_parser("coexist", help="DCTCP vs Cubic at one grid point")
+    co.add_argument("--aqm", choices=sorted(FACTORIES), default="coupled")
+    co.add_argument("--link", type=float, default=40.0, help="Mb/s")
+    co.add_argument("--rtt", type=float, default=10.0, help="ms")
+    co.add_argument("--duration", type=float, default=30.0)
+    co.add_argument("--cc-a", default="dctcp")
+    co.add_argument("--cc-b", default="cubic")
+    co.add_argument("--seed", type=int, default=1)
+
+    bode = sub.add_parser("bode", help="gain/phase margins at an operating point")
+    bode.add_argument("--kind", choices=sorted(BODE_KINDS), default="reno_pi2")
+    bode.add_argument("--p", type=float, default=0.01,
+                      help="operating point (p or p' depending on kind)")
+    bode.add_argument("--rtt", type=float, default=100.0, help="ms")
+    bode.add_argument("--alpha", type=float)
+    bode.add_argument("--beta", type=float)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure's data")
+    figure.add_argument("name", help="figure name (see `repro list`)")
+    figure.add_argument("--scale", type=float, default=1.0,
+                        help="duration multiplier (1 = quick defaults)")
+    figure.add_argument("--csv", metavar="PATH", help="also write rows as CSV")
+
+    fluid = sub.add_parser("fluid", help="fluid-model trajectory (Appendix B)")
+    fluid.add_argument("--kind", choices=["reno_pi2", "reno_pi", "scal_pi"],
+                       default="reno_pi2")
+    fluid.add_argument("--flows", type=float, default=5.0)
+    fluid.add_argument("--link", type=float, default=10.0, help="Mb/s")
+    fluid.add_argument("--rtt", type=float, default=100.0, help="ms")
+    fluid.add_argument("--duration", type=float, default=40.0)
+    return parser
+
+
+def _cmd_list(out) -> int:
+    from repro.harness.figures import FIGURES
+
+    print("scenarios:", ", ".join(sorted(SCENARIOS)), file=out)
+    print("aqms:     ", ", ".join(sorted(FACTORIES)), file=out)
+    print("bode kinds:", ", ".join(sorted(BODE_KINDS)), file=out)
+    print("figures:  ", ", ".join(sorted(FIGURES)), file=out)
+    return 0
+
+
+def _cmd_figure(args, out) -> int:
+    from repro.harness.figures import generate_figure
+
+    data = generate_figure(args.name, scale=args.scale)
+    print(data.table(), file=out)
+    if args.csv:
+        data.to_csv(args.csv)
+        print(f"wrote {args.csv}", file=out)
+    return 0
+
+
+def _cmd_run(args, out) -> int:
+    factory = FACTORIES[args.aqm]()
+    scenario = SCENARIOS[args.scenario]
+    if args.scenario in ("intensity", "capacity"):
+        exp = scenario(factory, stage=args.duration, seed=args.seed)
+    else:
+        exp = scenario(factory, duration=args.duration, seed=args.seed)
+    result = run_experiment(exp)
+    delay = result.sojourn_summary(percentiles=(99,))
+    rows = [
+        ("queue delay mean [ms]", delay["mean"] * 1e3),
+        ("queue delay p99 [ms]", delay["p99"] * 1e3),
+        ("utilization [%]", result.mean_utilization() * 100),
+        ("AQM drops", result.queue_stats.aqm_dropped),
+        ("tail drops", result.queue_stats.tail_dropped),
+        ("CE marks", result.queue_stats.ce_marked),
+    ]
+    print(
+        format_table(
+            ["metric", "value"], rows,
+            title=f"scenario={args.scenario} aqm={args.aqm} "
+                  f"duration={exp.duration:.0f}s seed={args.seed}",
+        ),
+        file=out,
+    )
+    if args.json:
+        from repro.metrics.export import write_result_json
+
+        path = write_result_json(result, args.json)
+        print(f"wrote {path}", file=out)
+    return 0
+
+
+def _cmd_coexist(args, out) -> int:
+    factory = FACTORIES[args.aqm]()
+    exp = coexistence_pair(
+        factory,
+        cc_a=args.cc_a,
+        cc_b=args.cc_b,
+        capacity_bps=args.link * MBPS,
+        rtt=args.rtt / 1e3,
+        duration=args.duration,
+        warmup=min(10.0, args.duration / 2),
+        seed=args.seed,
+    )
+    result = run_experiment(exp)
+    a = sum(result.goodputs(args.cc_a)) / 1e6
+    b = sum(result.goodputs(args.cc_b)) / 1e6
+    rows = [
+        (f"{args.cc_a} [Mb/s]", a),
+        (f"{args.cc_b} [Mb/s]", b),
+        (f"{args.cc_b}/{args.cc_a} ratio", b / a if a else float("inf")),
+        ("queue delay mean [ms]", result.sojourn_summary()["mean"] * 1e3),
+        ("utilization [%]", result.mean_utilization() * 100),
+    ]
+    print(
+        format_table(
+            ["metric", "value"], rows,
+            title=f"coexistence aqm={args.aqm} link={args.link}Mb/s rtt={args.rtt}ms",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_bode(args, out) -> int:
+    alpha, beta = DEFAULT_GAINS[args.kind]
+    gains = PiGains(
+        alpha if args.alpha is None else args.alpha,
+        beta if args.beta is None else args.beta,
+    )
+    margins = BODE_KINDS[args.kind](args.p, args.rtt / 1e3, gains)
+    gm = margins.gain_margin_db
+    pm = margins.phase_margin_deg
+    rows = [
+        ("gain margin [dB]", float("nan") if gm is None else gm),
+        ("phase margin [deg]", float("nan") if pm is None else pm),
+        ("stable", str(margins.stable)),
+    ]
+    print(
+        format_table(
+            ["metric", "value"], rows,
+            title=f"bode kind={args.kind} p={args.p} rtt={args.rtt}ms "
+                  f"alpha={gains.alpha} beta={gains.beta}",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_fluid(args, out) -> int:
+    cap_pps = args.link * MBPS / (1448 * 8)
+    alpha, beta = DEFAULT_GAINS[args.kind if args.kind != "reno_pi" else "reno_pi"]
+    scenario = FluidScenario(
+        capacity_pps=cap_pps,
+        n_flows=args.flows,
+        base_rtt=args.rtt / 1e3,
+        alpha=alpha,
+        beta=beta,
+        kind=args.kind,
+        duration=args.duration,
+    )
+    result = simulate_fluid(scenario)
+    rows = [
+        ("steady queue delay [ms]", result.tail_mean("queue_delay") * 1e3),
+        ("steady window [seg]", result.tail_mean("window")),
+        ("steady p' ", result.tail_mean("p_prime")),
+        ("steady applied p", result.tail_mean("applied_p")),
+        ("peak queue delay [ms]", result.peak("queue_delay") * 1e3),
+    ]
+    print(
+        format_table(
+            ["metric", "value"], rows,
+            title=f"fluid kind={args.kind} flows={args.flows} "
+                  f"link={args.link}Mb/s rtt={args.rtt}ms",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(out)
+    if args.command == "run":
+        return _cmd_run(args, out)
+    if args.command == "coexist":
+        return _cmd_coexist(args, out)
+    if args.command == "figure":
+        return _cmd_figure(args, out)
+    if args.command == "bode":
+        return _cmd_bode(args, out)
+    if args.command == "fluid":
+        return _cmd_fluid(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,75 @@
+"""Evaluation harness: dumbbell topology, experiments, scenarios, sweeps."""
+
+from repro.harness.experiment import (
+    Experiment,
+    ExperimentResult,
+    FlowGroup,
+    UdpGroup,
+    run_experiment,
+)
+from repro.harness.factories import (
+    FACTORIES,
+    bare_pie_factory,
+    coupled_factory,
+    pi2_factory,
+    pi_factory,
+    pie_factory,
+    taildrop_factory,
+)
+from repro.harness.repeat import MetricEstimate, compare_metric, repeat_experiment
+from repro.harness.scenarios import (
+    MBPS,
+    PAPER_EXPECTATIONS,
+    coexistence_mix,
+    coexistence_pair,
+    heavy_tcp,
+    light_tcp,
+    tcp_plus_udp,
+    varying_capacity,
+    varying_intensity,
+)
+from repro.harness.sweep import (
+    PAPER_FLOW_MIXES,
+    PAPER_LINK_MBPS,
+    PAPER_RTTS_MS,
+    GridCell,
+    format_table,
+    run_coexistence_grid,
+    run_mix_sweep,
+)
+from repro.harness.topology import Dumbbell
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "FlowGroup",
+    "UdpGroup",
+    "run_experiment",
+    "repeat_experiment",
+    "compare_metric",
+    "MetricEstimate",
+    "Dumbbell",
+    "MBPS",
+    "PAPER_EXPECTATIONS",
+    "light_tcp",
+    "heavy_tcp",
+    "tcp_plus_udp",
+    "varying_intensity",
+    "varying_capacity",
+    "coexistence_pair",
+    "coexistence_mix",
+    "GridCell",
+    "run_coexistence_grid",
+    "run_mix_sweep",
+    "format_table",
+    "PAPER_LINK_MBPS",
+    "PAPER_RTTS_MS",
+    "PAPER_FLOW_MIXES",
+    "pie_factory",
+    "bare_pie_factory",
+    "pi_factory",
+    "pi2_factory",
+    "coupled_factory",
+    "taildrop_factory",
+    "FACTORIES",
+]

@@ -1,0 +1,204 @@
+"""Experiment configuration and runner.
+
+An :class:`Experiment` is a declarative description of one testbed run —
+bottleneck rate (and optional schedule of rate changes), AQM factory,
+TCP/UDP flow groups, duration and warm-up — and :func:`run_experiment`
+executes it, returning an :class:`ExperimentResult` with exactly the
+read-outs the paper's figures need:
+
+* sampled queue delay, probability and utilization series;
+* per-packet bottleneck sojourn times (for CDFs / percentiles);
+* per-flow and per-class goodputs over the measurement window
+  (everything after ``warmup``);
+* queue and AQM counters.
+
+The AQM is supplied as a *factory* taking the experiment's seeded stream
+so that every run gets reproducible, isolated randomness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.aqm.base import AQM
+from repro.harness.topology import Dumbbell
+from repro.metrics.stats import percentile_summary, rate_balance_ratio
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+
+__all__ = ["FlowGroup", "UdpGroup", "Experiment", "ExperimentResult", "run_experiment"]
+
+#: An AQM factory: receives a dedicated random stream, returns the AQM
+#: (or None for tail-drop).
+AqmFactory = Callable[[random.Random], Optional[AQM]]
+
+
+@dataclass(frozen=True)
+class FlowGroup:
+    """``count`` TCP flows sharing one congestion control and base RTT."""
+
+    cc: str
+    count: int
+    rtt: float
+    start: float = 0.0
+    stop: Optional[float] = None
+    label: Optional[str] = None
+    flow_size: Optional[int] = None
+    sack: bool = False
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError(f"count must be positive (got {self.count})")
+
+
+@dataclass(frozen=True)
+class UdpGroup:
+    """``count`` constant-bit-rate unresponsive flows."""
+
+    rate_bps: float
+    count: int = 1
+    start: float = 0.0
+    stop: Optional[float] = None
+    label: str = "udp"
+
+
+@dataclass
+class Experiment:
+    """One run's declarative description."""
+
+    capacity_bps: float
+    duration: float
+    aqm_factory: AqmFactory
+    flows: Sequence[FlowGroup] = field(default_factory=list)
+    udp: Sequence[UdpGroup] = field(default_factory=list)
+    warmup: float = 5.0
+    buffer_packets: int = 40_000
+    seed: int = 1
+    sample_period: float = 1.0
+    record_sojourns: bool = True
+    #: Optional (time, capacity_bps) schedule for mid-run rate changes.
+    capacity_schedule: Sequence[Tuple[float, float]] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bps <= 0:
+            raise ValueError(f"capacity must be positive (got {self.capacity_bps})")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive (got {self.duration})")
+        if not 0 <= self.warmup < self.duration:
+            raise ValueError(
+                f"warmup must be in [0, duration) (got {self.warmup} vs {self.duration})"
+            )
+
+
+class ExperimentResult:
+    """Read-outs of one completed run."""
+
+    def __init__(self, experiment: Experiment, bed: Dumbbell):
+        self.experiment = experiment
+        self.bed = bed
+        self.duration = experiment.duration
+        self.warmup = experiment.warmup
+
+    # -- series ----------------------------------------------------------
+    @property
+    def queue_delay(self):
+        return self.bed.queue_delay
+
+    @property
+    def probability(self):
+        return self.bed.probability
+
+    @property
+    def raw_probability(self):
+        return self.bed.raw_probability
+
+    @property
+    def utilization(self):
+        return self.bed.utilization
+
+    # -- per-packet sojourns ------------------------------------------------
+    def sojourn_samples(self, from_warmup: bool = True) -> np.ndarray:
+        t0 = self.warmup if from_warmup else 0.0
+        return self.bed.sojourns.window(t0, float("inf"))
+
+    def sojourn_summary(self, percentiles=(1, 25, 50, 99)) -> Dict[str, float]:
+        return percentile_summary(self.sojourn_samples(), percentiles)
+
+    # -- flow rates -----------------------------------------------------------
+    def goodputs(self, label: str) -> List[float]:
+        return self.bed.goodput_bps(label, self.duration)
+
+    def class_labels(self) -> List[str]:
+        return self.bed.flows.labels()
+
+    def balance(self, label_a: str, label_b: str) -> float:
+        return rate_balance_ratio(self.goodputs(label_a), self.goodputs(label_b))
+
+    def total_goodput_bps(self) -> float:
+        return sum(
+            sum(self.goodputs(label)) for label in self.class_labels()
+        )
+
+    # -- aggregates -----------------------------------------------------------
+    def mean_utilization(self) -> float:
+        return self.utilization.mean(self.warmup)
+
+    def utilization_summary(self, percentiles=(1, 99)) -> Dict[str, float]:
+        return percentile_summary(
+            self.utilization.window(self.warmup, float("inf")), percentiles
+        )
+
+    def probability_summary(self, percentiles=(25, 99)) -> Dict[str, float]:
+        return percentile_summary(
+            self.probability.window(self.warmup, float("inf")), percentiles
+        )
+
+    @property
+    def queue_stats(self):
+        return self.bed.queue.stats
+
+    @property
+    def aqm(self):
+        return self.bed.aqm
+
+
+def run_experiment(experiment: Experiment) -> ExperimentResult:
+    """Build the dumbbell, run to ``duration``, and collect results."""
+    sim = Simulator()
+    streams = RandomStreams(experiment.seed)
+    aqm = experiment.aqm_factory(streams.stream("aqm"))
+    bed = Dumbbell(
+        sim,
+        streams,
+        experiment.capacity_bps,
+        aqm,
+        buffer_packets=experiment.buffer_packets,
+        sample_period=experiment.sample_period,
+        record_sojourns=experiment.record_sojourns,
+    )
+    for group in experiment.flows:
+        for _ in range(group.count):
+            bed.add_tcp_flow(
+                group.cc,
+                rtt=group.rtt,
+                start=group.start,
+                stop=group.stop,
+                flow_size=group.flow_size,
+                label=group.label or group.cc,
+                sack=group.sack,
+            )
+    for group in experiment.udp:
+        for _ in range(group.count):
+            bed.add_udp_flow(
+                group.rate_bps, start=group.start, stop=group.stop, label=group.label
+            )
+    for when, rate in experiment.capacity_schedule:
+        sim.at(when, bed.set_capacity, rate)
+
+    sim.at(experiment.warmup, bed.flows.open_windows, experiment.warmup)
+    sim.run(until=experiment.duration)
+    return ExperimentResult(experiment, bed)

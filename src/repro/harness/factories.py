@@ -1,0 +1,94 @@
+"""Standard AQM factories with the paper's Table 1 defaults.
+
+Factories close over configuration and accept the per-run random stream,
+matching the :data:`~repro.harness.experiment.AqmFactory` signature.  The
+defaults are Table 1's: target 20 ms, PIE α = 2/16 / β = 20/16 with 100 ms
+burst allowance, PI2 gains 2.5× PIE's, coupled (Scalable) gains 2× PI2's.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.aqm.base import AQM
+from repro.aqm.pi import PiAqm
+from repro.aqm.pie import BarePieAqm, PieAqm
+from repro.core.coupled import CoupledPi2Aqm
+from repro.core.pi2 import Pi2Aqm
+
+__all__ = [
+    "taildrop_factory",
+    "pie_factory",
+    "bare_pie_factory",
+    "pi_factory",
+    "pi2_factory",
+    "coupled_factory",
+    "FACTORIES",
+]
+
+
+def taildrop_factory(**_ignored):
+    """No AQM: the queue's tail-drop backstop is the only control."""
+
+    def make(rng: random.Random) -> Optional[AQM]:
+        return None
+
+    return make
+
+
+def pie_factory(**kwargs) -> Callable[[random.Random], AQM]:
+    """Full Linux PIE (paper's comparator: heuristics on, reworked ECN rule)."""
+
+    def make(rng: random.Random) -> AQM:
+        return PieAqm(rng=rng, **kwargs)
+
+    return make
+
+
+def bare_pie_factory(**kwargs) -> Callable[[random.Random], AQM]:
+    """PIE with all Section 5 heuristics disabled."""
+
+    def make(rng: random.Random) -> AQM:
+        return BarePieAqm(rng=rng, **kwargs)
+
+    return make
+
+
+def pi_factory(**kwargs) -> Callable[[random.Random], AQM]:
+    """Un-tuned basic PI (the unstable 'pi' curve of Figure 6)."""
+
+    def make(rng: random.Random) -> AQM:
+        return PiAqm(rng=rng, **kwargs)
+
+    return make
+
+
+def pi2_factory(**kwargs) -> Callable[[random.Random], AQM]:
+    """Single-class PI2 (Figure 8)."""
+
+    def make(rng: random.Random) -> AQM:
+        return Pi2Aqm(rng=rng, **kwargs)
+
+    return make
+
+
+def coupled_factory(**kwargs) -> Callable[[random.Random], AQM]:
+    """Coupled PI+PI2 single-queue AQM (Figure 9) — the paper's 'PI2'
+    configuration in the coexistence experiments."""
+
+    def make(rng: random.Random) -> AQM:
+        return CoupledPi2Aqm(rng=rng, **kwargs)
+
+    return make
+
+
+#: Name → zero-config factory, for table-driven benchmarks.
+FACTORIES = {
+    "taildrop": taildrop_factory,
+    "pie": pie_factory,
+    "bare-pie": bare_pie_factory,
+    "pi": pi_factory,
+    "pi2": pi2_factory,
+    "coupled": coupled_factory,
+}

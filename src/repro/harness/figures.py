@@ -1,0 +1,303 @@
+"""Programmatic figure-data generators.
+
+Each function regenerates the *data* behind one of the paper's figures
+and returns a :class:`FigureData` (headers + rows + a note about the
+paper's expected shape), for the CLI's ``figure`` subcommand and for
+notebook/scripting use.  The pytest benchmarks in ``benchmarks/`` are the
+*assertion* layer for the same experiments; these generators favour
+moderate default durations so a figure is obtainable in seconds-to-a-
+minute from the command line, with a ``scale`` knob to trade time for
+smoothness.
+
+Example
+-------
+>>> from repro.harness.figures import FIGURES
+>>> data = FIGURES["fig05"]()
+>>> data.headers
+['p', 'tune(p)', 'sqrt(2p)']
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.bode import margins_reno_pi, margins_reno_pi2, margins_reno_pie, margins_scal_pi
+from repro.analysis.fluid import PAPER_PI2_GAINS, PAPER_PIE_GAINS, PAPER_SCAL_GAINS
+from repro.aqm.tune_table import tune_table_rows
+from repro.harness.experiment import run_experiment
+from repro.harness.factories import coupled_factory, pi2_factory, pi_factory, pie_factory
+from repro.harness.scenarios import (
+    MBPS,
+    heavy_tcp,
+    light_tcp,
+    tcp_plus_udp,
+    varying_capacity,
+    varying_intensity,
+)
+from repro.harness.sweep import format_table, run_mix_sweep
+
+__all__ = ["FigureData", "FIGURES", "generate_figure"]
+
+
+@dataclass
+class FigureData:
+    """Rows regenerating one figure, plus the paper's expected shape."""
+
+    figure: str
+    headers: List[str]
+    rows: List[Tuple]
+    note: str = ""
+
+    def table(self) -> str:
+        title = f"{self.figure}" + (f"\n{self.note}" if self.note else "")
+        return format_table(self.headers, self.rows, title=title)
+
+    def to_csv(self, path) -> None:
+        import csv
+        from pathlib import Path
+
+        with Path(path).open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.headers)
+            writer.writerows(self.rows)
+
+
+def _gm(m):
+    return float("nan") if m.gain_margin_db is None else m.gain_margin_db
+
+
+def fig04(scale: float = 1.0) -> FigureData:
+    """Bode gain margins for PI on Reno: auto vs fixed tunes."""
+    rows = []
+    for p in (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 0.5, 1.0):
+        rows.append(
+            (
+                p,
+                _gm(margins_reno_pie(p, 0.1, PAPER_PIE_GAINS)),
+                _gm(margins_reno_pi(p, 0.1, PAPER_PIE_GAINS, tune_factor=1.0)),
+                _gm(margins_reno_pi(p, 0.1, PAPER_PIE_GAINS, tune_factor=1 / 8)),
+            )
+        )
+    return FigureData(
+        "Figure 4", ["p", "GM auto [dB]", "GM tune=1 [dB]", "GM tune=1/8 [dB]"],
+        rows, "paper shape: fixed-gain diagonal goes negative at low p",
+    )
+
+
+def fig05(scale: float = 1.0) -> FigureData:
+    """PIE's stepped tune factor vs the analytic √(2p)."""
+    rows = [(p, t, s) for p, t, s in tune_table_rows(points_per_decade=2)]
+    return FigureData(
+        "Figure 5", ["p", "tune(p)", "sqrt(2p)"], rows,
+        "paper shape: the steps straddle sqrt(2p) over six decades",
+    )
+
+
+def fig07(scale: float = 1.0) -> FigureData:
+    """Bode margins for reno-PIE / reno-PI2 / scal-PI."""
+    rows = []
+    for pp in (0.001, 0.01, 0.1, 0.3, 0.6, 1.0):
+        rows.append(
+            (
+                pp,
+                _gm(margins_reno_pie(pp, 0.1, PAPER_PIE_GAINS)),
+                _gm(margins_reno_pi2(pp, 0.1, PAPER_PI2_GAINS)),
+                _gm(margins_scal_pi(pp, 0.1, PAPER_SCAL_GAINS)),
+            )
+        )
+    return FigureData(
+        "Figure 7", ["p or p'", "GM pie [dB]", "GM pi2 [dB]", "GM scal [dB]"],
+        rows, "paper shape: pi2/scal flat and positive; >10 dB only at p'>0.6",
+    )
+
+
+def _stage_rows(results, stage, flows):
+    rows = []
+    for name, r in results.items():
+        for s in range(5):
+            t0, t1 = s * stage + 1.0, (s + 1) * stage
+            qd = r.queue_delay.window(t0, t1)
+            rows.append(
+                (name, f"{s + 1} ({flows[s]} flows)",
+                 float(np.mean(qd)) * 1e3, float(np.max(qd)) * 1e3)
+            )
+    return rows
+
+
+def fig06(scale: float = 1.0) -> FigureData:
+    """Un-tuned PI vs PI2 under varying intensity at 100 Mb/s, 10 ms."""
+    stage = 8.0 * scale
+    results = {}
+    for name, factory in (("pi", pi_factory()), ("pi2", pi2_factory())):
+        exp = varying_intensity(factory, capacity_bps=100 * MBPS, rtt=0.010,
+                                stage=stage)
+        exp.sample_period = 0.1
+        results[name] = run_experiment(exp)
+    return FigureData(
+        "Figure 6", ["aqm", "stage", "q mean [ms]", "q peak [ms]"],
+        _stage_rows(results, stage, [10, 30, 50, 30, 10]),
+        "paper shape: un-tuned PI oscillates at low load; PI2 holds 20 ms",
+    )
+
+
+def fig11(scale: float = 1.0) -> FigureData:
+    """Queue delay and throughput under three traffic loads."""
+    duration = 30.0 * scale
+    rows = []
+    scenarios = {
+        "5 TCP": light_tcp, "50 TCP": heavy_tcp, "5 TCP + 2 UDP": tcp_plus_udp,
+    }
+    for label, scenario in scenarios.items():
+        for name, factory in (("pie", pie_factory()), ("pi2", pi2_factory())):
+            r = run_experiment(scenario(factory, duration=duration))
+            soj = r.sojourn_samples()
+            rows.append(
+                (label, name, float(np.mean(soj)) * 1e3,
+                 float(np.percentile(soj, 99)) * 1e3,
+                 r.mean_utilization() * 100)
+            )
+    return FigureData(
+        "Figure 11", ["scenario", "aqm", "q mean [ms]", "q p99 [ms]", "util [%]"],
+        rows, "paper shape: both hold ~20 ms at full utilization",
+    )
+
+
+def fig12(scale: float = 1.0) -> FigureData:
+    """Queue delay through capacity steps 100:20:100 Mb/s."""
+    stage = 15.0 * scale
+    rows = []
+    for name, factory in (("pie", pie_factory()), ("pi2", pi2_factory())):
+        exp = varying_capacity(factory, stage=stage)
+        exp.sample_period = 0.1
+        r = run_experiment(exp)
+        rows.append(
+            (name,
+             r.queue_delay.max(stage, stage + 5.0) * 1e3,
+             r.queue_delay.mean(stage + 5.0, 2 * stage) * 1e3,
+             r.queue_delay.max(2 * stage, 2 * stage + 5.0) * 1e3)
+        )
+    return FigureData(
+        "Figure 12", ["aqm", "peak@drop [ms]", "mean@20M [ms]", "peak@rise [ms]"],
+        rows, "paper: 510 ms (PIE) vs 250 ms (PI2) at the drop",
+    )
+
+
+def fig13(scale: float = 1.0) -> FigureData:
+    """Varying intensity at 10 Mb/s, 100 ms RTT: PIE vs PI2."""
+    stage = 12.0 * scale
+    results = {}
+    for name, factory in (("pie", pie_factory()), ("pi2", pi2_factory())):
+        exp = varying_intensity(factory, capacity_bps=10 * MBPS, rtt=0.100,
+                                stage=stage)
+        exp.sample_period = 0.1
+        results[name] = run_experiment(exp)
+    return FigureData(
+        "Figure 13", ["aqm", "stage", "q mean [ms]", "q peak [ms]"],
+        _stage_rows(results, stage, [10, 30, 50, 30, 10]),
+        "paper shape: PI2 reduces overshoot at load changes",
+    )
+
+
+def fig19(scale: float = 1.0) -> FigureData:
+    """Rate balance across flow-count mixes at 40 Mb/s, 10 ms."""
+    duration = 25.0 * scale
+    mixes = ((1, 1), (1, 9), (5, 5), (9, 1))
+    rows = []
+    for name, factory in (("pie", pie_factory()), ("pi2", coupled_factory())):
+        sweeps = run_mix_sweep(factory, mixes=mixes, duration=duration,
+                               warmup=min(10.0, duration / 2))
+        for (n_a, n_b), result in sweeps.items():
+            rows.append(
+                (name, f"A{n_a}-B{n_b}", result.balance("dctcp", "cubic"))
+            )
+    return FigureData(
+        "Figure 19", ["aqm", "mix (A=dctcp B=cubic)", "DCTCP/Cubic ratio"],
+        rows, "paper shape: PIE ~10 for every mix, PI2 ≈ 1",
+    )
+
+
+def fig14(scale: float = 1.0) -> FigureData:
+    """Queue-delay distribution summary at 5 ms and 20 ms targets."""
+    from repro.harness.experiment import Experiment, FlowGroup
+
+    duration = 25.0 * scale
+    rows = []
+    for target in (0.005, 0.020):
+        for name, make in (
+            ("pie", lambda t: pie_factory(target_delay=t)),
+            ("pi2", lambda t: pi2_factory(target_delay=t)),
+        ):
+            r = run_experiment(
+                Experiment(
+                    capacity_bps=10 * MBPS,
+                    duration=duration,
+                    warmup=min(10.0, duration / 3),
+                    aqm_factory=make(target),
+                    flows=[FlowGroup(cc="reno", count=20, rtt=0.100)],
+                )
+            )
+            soj = r.sojourn_samples()
+            rows.append(
+                (f"{target * 1e3:.0f} ms", name,
+                 float(np.percentile(soj, 50)) * 1e3,
+                 float(np.percentile(soj, 90)) * 1e3,
+                 float(np.percentile(soj, 99)) * 1e3)
+            )
+    return FigureData(
+        "Figure 14", ["target", "aqm", "p50 [ms]", "p90 [ms]", "p99 [ms]"],
+        rows, "paper shape: PI2's CDF ≈ PIE's at both targets (20-TCP panel)",
+    )
+
+
+def fig15(scale: float = 1.0) -> FigureData:
+    """Rate balance on a reduced 3×3 coexistence grid.
+
+    The full 5×5 grid with per-cell convergence budgeting lives in the
+    benchmark suite; this CLI-friendly version covers the corner points.
+    """
+    from repro.harness.sweep import run_coexistence_grid
+
+    duration = 20.0 * scale
+    rows = []
+    for name, factory in (("pie", pie_factory()), ("pi2", coupled_factory())):
+        cells = run_coexistence_grid(
+            factory, links_mbps=(4, 40), rtts_ms=(10, 50),
+            duration=duration, warmup=min(8.0, duration / 2),
+        )
+        for cell in cells:
+            rows.append(
+                (name, cell.link_mbps, cell.rtt_ms,
+                 cell.balance("cubic", "dctcp"))
+            )
+    return FigureData(
+        "Figure 15 (reduced grid)",
+        ["aqm", "link [Mb/s]", "RTT [ms]", "Cubic/DCTCP ratio"],
+        rows, "paper shape: ≈0.1 under PIE (starvation), ≈1 under PI2",
+    )
+
+
+#: Registry of the CLI-accessible generators.
+FIGURES: Dict[str, Callable[..., FigureData]] = {
+    "fig04": fig04,
+    "fig05": fig05,
+    "fig06": fig06,
+    "fig07": fig07,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "fig15": fig15,
+    "fig19": fig19,
+}
+
+
+def generate_figure(name: str, scale: float = 1.0) -> FigureData:
+    """Generate one figure's data by registry name."""
+    if name not in FIGURES:
+        raise ValueError(f"unknown figure {name!r}; choose from {sorted(FIGURES)}")
+    if scale <= 0:
+        raise ValueError(f"scale must be positive (got {scale})")
+    return FIGURES[name](scale=scale)

@@ -1,0 +1,161 @@
+"""Grid sweeps and result tables for the coexistence figures.
+
+Figures 15–18 evaluate every combination of link rate {4, 12, 40, 120,
+200} Mb/s and RTT {5, 10, 20, 50, 100} ms; Figures 19–20 sweep flow-count
+mixes at a fixed operating point.  This module runs those grids and
+renders aligned text tables (the repository's stand-in for the paper's
+bar-chart panels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.experiment import AqmFactory, ExperimentResult
+from repro.harness.scenarios import MBPS, coexistence_mix, coexistence_pair
+
+__all__ = [
+    "GridCell",
+    "PAPER_LINK_MBPS",
+    "PAPER_RTTS_MS",
+    "PAPER_FLOW_MIXES",
+    "run_coexistence_grid",
+    "run_mix_sweep",
+    "format_table",
+]
+
+#: The paper's evaluation grid (Figures 15–18).
+PAPER_LINK_MBPS = (4, 12, 40, 120, 200)
+PAPER_RTTS_MS = (5, 10, 20, 50, 100)
+
+#: Figures 19–20's flow-count combinations (A = first class, B = second).
+PAPER_FLOW_MIXES = (
+    (0, 10),
+    (1, 9),
+    (2, 8),
+    (3, 7),
+    (4, 6),
+    (5, 5),
+    (6, 4),
+    (7, 3),
+    (8, 2),
+    (9, 1),
+    (10, 0),
+    (1, 1),
+    (1, 10),
+    (10, 1),
+)
+
+
+@dataclass
+class GridCell:
+    """One grid point's configuration and completed result."""
+
+    link_mbps: float
+    rtt_ms: float
+    result: ExperimentResult
+
+    def balance(self, label_a: str, label_b: str) -> float:
+        return self.result.balance(label_a, label_b)
+
+
+def run_coexistence_grid(
+    aqm_factory: AqmFactory,
+    cc_a: str = "dctcp",
+    cc_b: str = "cubic",
+    links_mbps: Sequence[float] = PAPER_LINK_MBPS,
+    rtts_ms: Sequence[float] = PAPER_RTTS_MS,
+    duration: float = 30.0,
+    warmup: float = 10.0,
+    seed: int = 1,
+    duration_for: Optional[Callable[[float, float], float]] = None,
+) -> List[GridCell]:
+    """Run the Figure 15–18 grid; one long-running flow per class per cell.
+
+    ``duration_for(link_mbps, rtt_ms)`` may override the run length per
+    cell — benchmarks use it to keep high-rate cells affordable.
+    """
+    from repro.harness.experiment import run_experiment
+
+    cells = []
+    for link in links_mbps:
+        for rtt in rtts_ms:
+            d = duration if duration_for is None else duration_for(link, rtt)
+            exp = coexistence_pair(
+                aqm_factory,
+                cc_a=cc_a,
+                cc_b=cc_b,
+                capacity_bps=link * MBPS,
+                rtt=rtt / 1000.0,
+                duration=d,
+                warmup=min(warmup, d / 2),
+                seed=seed,
+            )
+            cells.append(GridCell(link, rtt, run_experiment(exp)))
+    return cells
+
+
+def run_mix_sweep(
+    aqm_factory: AqmFactory,
+    cc_a: str = "dctcp",
+    cc_b: str = "cubic",
+    mixes: Sequence[Tuple[int, int]] = PAPER_FLOW_MIXES,
+    capacity_mbps: float = 40.0,
+    rtt_ms: float = 10.0,
+    duration: float = 30.0,
+    warmup: float = 10.0,
+    seed: int = 1,
+) -> Dict[Tuple[int, int], ExperimentResult]:
+    """Run the Figure 19–20 flow-mix sweep at one operating point."""
+    from repro.harness.experiment import run_experiment
+
+    results = {}
+    for n_a, n_b in mixes:
+        exp = coexistence_mix(
+            aqm_factory,
+            n_a,
+            n_b,
+            cc_a=cc_a,
+            cc_b=cc_b,
+            capacity_bps=capacity_mbps * MBPS,
+            rtt=rtt_ms / 1000.0,
+            duration=duration,
+            warmup=warmup,
+            seed=seed,
+        )
+        results[(n_a, n_b)] = run_experiment(exp)
+    return results
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned text table (the benches' figure stand-in)."""
+    cols = [
+        [str(h)] + [_fmt(row[i]) for row in rows] for i, h in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in col) for col in cols]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(cell).rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,94 @@
+"""Time-series recording.
+
+Thin, allocation-friendly recorders used throughout the harness:
+
+* :class:`TimeSeries` — (t, value) samples; queue-delay traces (Figures 6,
+  11–13), probability traces (Figure 17) and utilization traces
+  (Figure 18) are all instances.
+* :class:`Sampler` — drives a recording callback on a fixed period (the
+  paper's plots use a 1 s sampling interval; Figure 12's overshoot detail
+  uses 100 ms).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+
+__all__ = ["TimeSeries", "Sampler"]
+
+
+class TimeSeries:
+    """Append-only series of (time, value) points with numpy export."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._t: List[float] = []
+        self._v: List[float] = []
+
+    def append(self, t: float, value: float) -> None:
+        self._t.append(t)
+        self._v.append(value)
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._t)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._v)
+
+    def window(self, t_from: float, t_to: float) -> np.ndarray:
+        """Values with t_from <= t < t_to."""
+        t = self.times
+        mask = (t >= t_from) & (t < t_to)
+        return self.values[mask]
+
+    def mean(self, t_from: float = 0.0, t_to: float = float("inf")) -> float:
+        vals = self.window(t_from, t_to)
+        return float(np.mean(vals)) if vals.size else float("nan")
+
+    def max(self, t_from: float = 0.0, t_to: float = float("inf")) -> float:
+        vals = self.window(t_from, t_to)
+        return float(np.max(vals)) if vals.size else float("nan")
+
+    def percentile(
+        self, q: float, t_from: float = 0.0, t_to: float = float("inf")
+    ) -> float:
+        vals = self.window(t_from, t_to)
+        return float(np.percentile(vals, q)) if vals.size else float("nan")
+
+    def std(self, t_from: float = 0.0, t_to: float = float("inf")) -> float:
+        vals = self.window(t_from, t_to)
+        return float(np.std(vals)) if vals.size else float("nan")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TimeSeries {self.name!r} n={len(self)}>"
+
+
+class Sampler:
+    """Calls ``probe()`` every ``period`` seconds and records the result."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        probe: Callable[[], float],
+        period: float = 1.0,
+        name: str = "",
+        start_delay: float = 0.0,
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be positive (got {period})")
+        self.series = TimeSeries(name)
+        self._probe = probe
+        sim.every(period, self._tick, start_delay=max(start_delay, period))
+        self._sim = sim
+
+    def _tick(self) -> None:
+        self.series.append(self._sim.now, self._probe())

@@ -1,0 +1,108 @@
+"""Statistical helpers for the paper's evaluation metrics.
+
+Everything Figures 14–20 report reduces to a handful of reusable
+computations: empirical CDFs of per-packet queue delay, percentile
+summaries, Jain's fairness index, the per-class rate-balance ratio, and
+normalized per-flow rates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ecdf",
+    "percentile_summary",
+    "jain_fairness",
+    "rate_balance_ratio",
+    "normalized_rates",
+    "geometric_mean",
+]
+
+
+def ecdf(samples: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns (sorted values, cumulative probabilities).
+
+    Used for Figure 14's queue-delay CDF comparison.
+    """
+    arr = np.sort(np.asarray(samples, dtype=float))
+    if arr.size == 0:
+        return arr, arr
+    probs = np.arange(1, arr.size + 1) / arr.size
+    return arr, probs
+
+
+def percentile_summary(
+    samples: Sequence[float], percentiles: Iterable[float] = (1, 25, 50, 99)
+) -> Dict[str, float]:
+    """Mean plus the requested percentiles, keyed 'mean', 'p1', 'p25', ...
+
+    Figure 16 uses mean and P99; Figure 17 P25/mean/P99; Figures 18 and 20
+    P1/mean/P99 — all served by this one helper.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        out = {"mean": math.nan}
+        out.update({f"p{int(q)}": math.nan for q in percentiles})
+        return out
+    out = {"mean": float(np.mean(arr))}
+    for q in percentiles:
+        out[f"p{int(q)}"] = float(np.percentile(arr, q))
+    return out
+
+
+def jain_fairness(rates: Sequence[float]) -> float:
+    """Jain's fairness index (Σx)²/(n·Σx²) ∈ (0, 1]."""
+    arr = np.asarray(rates, dtype=float)
+    if arr.size == 0:
+        return math.nan
+    denom = arr.size * float(np.sum(arr * arr))
+    if denom == 0:
+        return math.nan
+    return float(np.sum(arr)) ** 2 / denom
+
+
+def rate_balance_ratio(
+    rates_a: Sequence[float], rates_b: Sequence[float]
+) -> float:
+    """Per-flow throughput ratio between two classes (Figures 15 and 19).
+
+    Defined as mean-per-flow rate of class A divided by class B's.  The
+    paper's coexistence goal is a ratio ≈ 1; PIE's DCTCP-starves-Cubic
+    pathology shows up as ≈ 0.1 for Cubic/DCTCP.
+    """
+    a = np.asarray(rates_a, dtype=float)
+    b = np.asarray(rates_b, dtype=float)
+    if a.size == 0 or b.size == 0:
+        return math.nan
+    mean_b = float(np.mean(b))
+    if mean_b == 0:
+        return math.inf
+    return float(np.mean(a)) / mean_b
+
+
+def normalized_rates(
+    per_flow_rates: Sequence[float], capacity_bps: float, total_flows: int
+) -> List[float]:
+    """Per-flow rate divided by the equal-share 'fair' rate (Figure 20).
+
+    ``fair = capacity / total_flows`` across *all* concurrent flows of
+    both classes, as the figure's caption defines.
+    """
+    if capacity_bps <= 0:
+        raise ValueError(f"capacity must be positive (got {capacity_bps})")
+    if total_flows <= 0:
+        raise ValueError(f"total_flows must be positive (got {total_flows})")
+    fair = capacity_bps / total_flows
+    return [r / fair for r in per_flow_rates]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, ignoring non-positive entries (log-domain average)."""
+    arr = np.asarray([v for v in values if v > 0], dtype=float)
+    if arr.size == 0:
+        return math.nan
+    return float(np.exp(np.mean(np.log(arr))))

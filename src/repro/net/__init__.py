@@ -1,0 +1,35 @@
+"""Network substrate: packets, ECN, FIFO queue with AQM hook, links, pipes."""
+
+from repro.net.link import Link, Sink
+from repro.net.node import CallbackSink, CountingSink, NullSink
+from repro.net.packet import ACK_SIZE, DEFAULT_MSS, ECN, HEADER_BYTES, Packet
+from repro.net.pipe import LossyPipe, Pipe
+from repro.net.trace import PacketTrace, TraceEvent, TraceRecord
+from repro.net.queue import (
+    AQMQueue,
+    CapacityDelayEstimator,
+    DepartureRateEstimator,
+    QueueStats,
+)
+
+__all__ = [
+    "Packet",
+    "ECN",
+    "DEFAULT_MSS",
+    "ACK_SIZE",
+    "HEADER_BYTES",
+    "AQMQueue",
+    "QueueStats",
+    "CapacityDelayEstimator",
+    "DepartureRateEstimator",
+    "Link",
+    "Sink",
+    "Pipe",
+    "LossyPipe",
+    "CountingSink",
+    "NullSink",
+    "CallbackSink",
+    "PacketTrace",
+    "TraceEvent",
+    "TraceRecord",
+]

@@ -1,0 +1,118 @@
+"""Serializing bottleneck link.
+
+Drains an :class:`~repro.net.queue.AQMQueue` at a configurable bit rate and
+hands each packet to a downstream sink after its serialization time plus a
+fixed propagation delay.  Utilization accounting (busy time and delivered
+bytes per sampling window) feeds Figure 18.
+
+The rate may be changed mid-simulation (:meth:`Link.set_capacity`), which
+is how the Figure 12 varying-link-capacity experiment (100:20:100 Mb/s) is
+driven; a rate change takes effect from the next packet, as with a real
+shaper reconfiguration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from repro.net.packet import Packet
+from repro.net.queue import AQMQueue
+from repro.sim.engine import Simulator
+
+__all__ = ["Link", "Sink"]
+
+
+class Sink(Protocol):
+    """Anything that can receive a packet from a link or pipe."""
+
+    def deliver(self, packet: Packet) -> None: ...
+
+
+class Link:
+    """Point-to-point serializing link fed by a queue.
+
+    Parameters
+    ----------
+    sim:
+        Simulator instance.
+    queue:
+        The FIFO it drains; the link registers itself as the queue's
+        wake-up callback so transmission restarts when a packet arrives
+        into an empty queue.
+    capacity_bps:
+        Line rate in bits per second.
+    sink:
+        Downstream recipient of transmitted packets.
+    prop_delay:
+        One-way propagation delay in seconds appended after serialization.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        queue: AQMQueue,
+        capacity_bps: float,
+        sink: Optional[Sink] = None,
+        prop_delay: float = 0.0,
+    ):
+        if capacity_bps <= 0:
+            raise ValueError(f"capacity must be positive (got {capacity_bps})")
+        if prop_delay < 0:
+            raise ValueError(f"propagation delay cannot be negative (got {prop_delay})")
+        self.sim = sim
+        self.queue = queue
+        self.capacity_bps = capacity_bps
+        self.sink = sink
+        self.prop_delay = prop_delay
+        self.busy = False
+        self.busy_time = 0.0
+        self.bytes_sent = 0
+        self.packets_sent = 0
+        self._route: Optional[Callable[[Packet], Sink]] = None
+        queue.set_wakeup(self._on_queue_nonempty)
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def set_capacity(self, capacity_bps: float) -> None:
+        """Change the line rate; also updates the queue's delay estimator."""
+        if capacity_bps <= 0:
+            raise ValueError(f"capacity must be positive (got {capacity_bps})")
+        self.capacity_bps = capacity_bps
+        self.queue.estimator.set_capacity(capacity_bps)
+
+    def set_router(self, route: Callable[[Packet], Sink]) -> None:
+        """Install per-packet routing (used by the dumbbell topology to
+        deliver each flow's packets to its own receiver-side pipe)."""
+        self._route = route
+
+    # ------------------------------------------------------------------
+    # Transmission loop
+    # ------------------------------------------------------------------
+    def _on_queue_nonempty(self) -> None:
+        if not self.busy:
+            self._transmit_next()
+
+    def _transmit_next(self) -> None:
+        packet = self.queue.dequeue()
+        if packet is None:
+            self.busy = False
+            return
+        self.busy = True
+        tx_time = packet.size * 8.0 / self.capacity_bps
+        self.busy_time += tx_time
+        self.bytes_sent += packet.size
+        self.packets_sent += 1
+        self.sim.schedule(tx_time, self._on_tx_complete, packet)
+
+    def _on_tx_complete(self, packet: Packet) -> None:
+        sink = self._route(packet) if self._route is not None else self.sink
+        if sink is not None:
+            if self.prop_delay > 0:
+                self.sim.schedule(self.prop_delay, sink.deliver, packet)
+            else:
+                sink.deliver(packet)
+        self._transmit_next()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Link {self.capacity_bps / 1e6:.1f}Mbps busy={self.busy}>"

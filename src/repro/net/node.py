@@ -1,0 +1,47 @@
+"""Simple endpoint sinks.
+
+The dumbbell harness wires TCP senders/receivers directly, but unresponsive
+traffic (UDP) and several tests need trivial endpoints: a sink that counts
+what it absorbs, and a null sink.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.net.packet import Packet
+
+__all__ = ["CountingSink", "NullSink", "CallbackSink"]
+
+
+class CountingSink:
+    """Absorbs packets, counting packets and bytes (per-flow optional)."""
+
+    def __init__(self) -> None:
+        self.packets = 0
+        self.bytes = 0
+        self.per_flow_bytes: dict[int, int] = {}
+
+    def deliver(self, packet: Packet) -> None:
+        self.packets += 1
+        self.bytes += packet.size
+        self.per_flow_bytes[packet.flow_id] = (
+            self.per_flow_bytes.get(packet.flow_id, 0) + packet.size
+        )
+
+
+class NullSink:
+    """Absorbs and forgets."""
+
+    def deliver(self, packet: Packet) -> None:  # noqa: D102 - trivially named
+        pass
+
+
+class CallbackSink:
+    """Invokes a callback for every delivered packet."""
+
+    def __init__(self, fn: Callable[[Packet], None]):
+        self.fn = fn
+
+    def deliver(self, packet: Packet) -> None:
+        self.fn(packet)

@@ -1,0 +1,75 @@
+"""Fixed-delay, infinite-capacity path segments.
+
+A :class:`Pipe` models the uncongested parts of the paper's testbed paths:
+the per-flow netem delay that sets each flow's base RTT, and the reverse
+(ACK) path, which the testbed keeps uncongested.  Packets are delivered to
+the sink exactly ``delay`` seconds after entering; ordering is preserved
+because the underlying event heap is FIFO for equal timestamps and delay is
+constant.
+
+:class:`LossyPipe` adds independent Bernoulli loss, used by failure-
+injection tests to check the TCP models' retransmission machinery.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.net.link import Sink
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+__all__ = ["Pipe", "LossyPipe"]
+
+
+class Pipe:
+    """Deliver packets to ``sink`` after a fixed delay."""
+
+    def __init__(self, sim: Simulator, delay: float, sink: Optional[Sink] = None):
+        if delay < 0:
+            raise ValueError(f"delay cannot be negative (got {delay})")
+        self.sim = sim
+        self.delay = delay
+        self.sink = sink
+        self.delivered = 0
+
+    def deliver(self, packet: Packet) -> None:
+        if self.sink is None:
+            raise RuntimeError("pipe has no sink connected")
+        if self.delay > 0:
+            self.sim.schedule(self.delay, self._arrive, packet)
+        else:
+            self._arrive(packet)
+
+    def _arrive(self, packet: Packet) -> None:
+        self.delivered += 1
+        self.sink.deliver(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Pipe delay={self.delay * 1e3:.2f}ms>"
+
+
+class LossyPipe(Pipe):
+    """A pipe that independently drops each packet with probability ``loss``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay: float,
+        loss: float,
+        rng: random.Random,
+        sink: Optional[Sink] = None,
+    ):
+        super().__init__(sim, delay, sink)
+        if not 0.0 <= loss <= 1.0:
+            raise ValueError(f"loss probability must be in [0,1] (got {loss})")
+        self.loss = loss
+        self.rng = rng
+        self.lost = 0
+
+    def deliver(self, packet: Packet) -> None:
+        if self.loss > 0 and self.rng.random() < self.loss:
+            self.lost += 1
+            return
+        super().deliver(packet)

@@ -1,0 +1,270 @@
+"""FIFO bottleneck queue with an AQM hook and tail-drop backstop.
+
+This models the router buffer of the paper's testbed (40 000 packets, i.e.
+2.4 s at 200 Mb/s — Table 1).  The AQM is consulted on every enqueue; if it
+neither drops nor the buffer overflows, the packet joins the FIFO.  All
+traffic classes share this single queue, exactly as in the paper's
+single-queue coexistence experiments ("In the network, all packets use the
+same FIFO queue", Section 5).
+
+Queue-delay estimation
+----------------------
+PIE was designed for hardware and estimates queuing delay as
+``backlog / departure_rate`` with a measured departure-rate estimator
+(unlike CoDel's per-packet timestamps).  Both estimators are implemented:
+
+* :class:`CapacityDelayEstimator` — exact conversion using the configured
+  link rate (what the PIE RFC calls the known-drain-rate simplification,
+  used by DOCSIS PIE).
+* :class:`DepartureRateEstimator` — PIE's measurement loop: time how long
+  it takes to drain ``dq_threshold`` bytes, average the rate, divide.
+
+The per-packet *actual* sojourn time is additionally recorded at dequeue
+time (difference of timestamps); that is the quantity whose distribution
+Figures 14 and 16 report.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.aqm.base import AQM, Decision
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+__all__ = [
+    "AQMQueue",
+    "QueueStats",
+    "CapacityDelayEstimator",
+    "DepartureRateEstimator",
+]
+
+
+class QueueStats:
+    """Arrival/departure/drop accounting for one queue."""
+
+    __slots__ = (
+        "arrived",
+        "enqueued",
+        "dequeued",
+        "aqm_dropped",
+        "tail_dropped",
+        "ce_marked",
+        "bytes_arrived",
+        "bytes_dequeued",
+    )
+
+    def __init__(self) -> None:
+        self.arrived = 0
+        self.enqueued = 0
+        self.dequeued = 0
+        self.aqm_dropped = 0
+        self.tail_dropped = 0
+        self.ce_marked = 0
+        self.bytes_arrived = 0
+        self.bytes_dequeued = 0
+
+    @property
+    def dropped(self) -> int:
+        return self.aqm_dropped + self.tail_dropped
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<QueueStats in={self.arrived} out={self.dequeued} "
+            f"aqm_drop={self.aqm_dropped} tail_drop={self.tail_dropped} "
+            f"mark={self.ce_marked}>"
+        )
+
+
+class CapacityDelayEstimator:
+    """Exact queue-delay estimate from the configured drain rate.
+
+    ``delay = backlog_bytes * 8 / capacity_bps``.  Tracks capacity changes
+    (Figure 12's varying-link-capacity experiment) via :meth:`set_capacity`.
+    """
+
+    def __init__(self, capacity_bps: float):
+        if capacity_bps <= 0:
+            raise ValueError(f"capacity must be positive (got {capacity_bps})")
+        self.capacity_bps = capacity_bps
+
+    def set_capacity(self, capacity_bps: float) -> None:
+        if capacity_bps <= 0:
+            raise ValueError(f"capacity must be positive (got {capacity_bps})")
+        self.capacity_bps = capacity_bps
+
+    def on_dequeue(self, bytes_sent: int, now: float) -> None:
+        """No measurement needed; drain rate is known."""
+
+    def delay(self, backlog_bytes: int) -> float:
+        return backlog_bytes * 8.0 / self.capacity_bps
+
+
+class DepartureRateEstimator:
+    """PIE's measured departure-rate estimator (RFC 8033 section 5.1).
+
+    Measurement starts when the backlog exceeds ``dq_threshold`` bytes; the
+    rate sample is ``bytes_drained / elapsed`` once at least the threshold
+    has drained, and samples are smoothed with an exponential average.
+    Until the first sample completes, the estimator falls back to the
+    initial rate guess.
+    """
+
+    def __init__(
+        self,
+        initial_rate_bps: float = 10e6,
+        dq_threshold: int = 16 * 1024,
+        smoothing: float = 0.5,
+    ):
+        if initial_rate_bps <= 0:
+            raise ValueError("initial rate must be positive")
+        self.rate_bps = initial_rate_bps
+        self.dq_threshold = dq_threshold
+        self.smoothing = smoothing
+        self._in_measurement = False
+        self._dq_start = 0.0
+        self._dq_bytes = 0
+        self._backlog_hint = 0
+
+    def set_capacity(self, capacity_bps: float) -> None:
+        """Capacity changes are discovered by measurement; nothing to do."""
+
+    def on_dequeue(self, bytes_sent: int, now: float) -> None:
+        if not self._in_measurement:
+            if self._backlog_hint >= self.dq_threshold:
+                # The packet triggering the start drains *at* the start
+                # instant; counting it would bias the rate high.
+                self._in_measurement = True
+                self._dq_start = now
+                self._dq_bytes = 0
+            return
+        self._dq_bytes += bytes_sent
+        if self._dq_bytes >= self.dq_threshold:
+            elapsed = now - self._dq_start
+            if elapsed > 0:
+                sample = self._dq_bytes * 8.0 / elapsed
+                w = self.smoothing
+                self.rate_bps = (1 - w) * self.rate_bps + w * sample
+            self._in_measurement = False
+
+    def observe_backlog(self, backlog_bytes: int) -> None:
+        self._backlog_hint = backlog_bytes
+
+    def delay(self, backlog_bytes: int) -> float:
+        return backlog_bytes * 8.0 / self.rate_bps
+
+
+class AQMQueue:
+    """Single FIFO queue managed by an AQM, drained by a link.
+
+    Parameters
+    ----------
+    sim:
+        The simulator driving timestamps and the AQM's update timer.
+    aqm:
+        The active queue management algorithm; ``None`` means pure
+        tail-drop.
+    capacity_bps:
+        Drain rate used by the default exact delay estimator.
+    buffer_packets:
+        Hard tail-drop limit in packets (Table 1 uses 40 000).
+    estimator:
+        Override the queue-delay estimator (e.g. PIE's measured one).
+    on_sojourn:
+        Optional callback ``(now, sojourn_seconds, packet)`` invoked at each
+        dequeue — the metrics layer uses this to build the per-packet queue
+        delay distributions of Figures 14 and 16.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        aqm: Optional[AQM],
+        capacity_bps: float,
+        buffer_packets: int = 40_000,
+        estimator: Optional[object] = None,
+        on_sojourn: Optional[Callable[[float, float, Packet], None]] = None,
+    ):
+        if buffer_packets <= 0:
+            raise ValueError(f"buffer must hold at least one packet (got {buffer_packets})")
+        self.sim = sim
+        self.aqm = aqm
+        self.buffer_packets = buffer_packets
+        self.estimator = estimator or CapacityDelayEstimator(capacity_bps)
+        self.on_sojourn = on_sojourn
+        self.stats = QueueStats()
+        self._fifo: deque[Packet] = deque()
+        self._bytes = 0
+        self._wakeup: Optional[Callable[[], None]] = None
+        if aqm is not None:
+            aqm.attach(sim, self)
+
+    # ------------------------------------------------------------------
+    # QueueView protocol (what the AQM can see)
+    # ------------------------------------------------------------------
+    def byte_length(self) -> int:
+        return self._bytes
+
+    def packet_length(self) -> int:
+        return len(self._fifo)
+
+    def queue_delay(self) -> float:
+        return self.estimator.delay(self._bytes)
+
+    # ------------------------------------------------------------------
+    # Datapath
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet) -> bool:
+        """Run the AQM decision and enqueue.  Returns False if dropped."""
+        self.stats.arrived += 1
+        self.stats.bytes_arrived += packet.size
+
+        if len(self._fifo) >= self.buffer_packets:
+            self.stats.tail_dropped += 1
+            return False
+
+        if self.aqm is not None:
+            decision = self.aqm.decide(packet)
+            if decision is Decision.DROP:
+                self.stats.aqm_dropped += 1
+                return False
+            if decision is Decision.MARK:
+                packet.mark_ce()
+                self.stats.ce_marked += 1
+
+        packet.enqueue_time = self.sim.now
+        self._fifo.append(packet)
+        self._bytes += packet.size
+        self.stats.enqueued += 1
+        if isinstance(self.estimator, DepartureRateEstimator):
+            self.estimator.observe_backlog(self._bytes)
+        if self._wakeup is not None:
+            self._wakeup()
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        """Remove and return the head-of-line packet, or None if empty."""
+        if not self._fifo:
+            return None
+        packet = self._fifo.popleft()
+        self._bytes -= packet.size
+        now = self.sim.now
+        self.stats.dequeued += 1
+        self.stats.bytes_dequeued += packet.size
+        self.estimator.on_dequeue(packet.size, now)
+        if self.aqm is not None:
+            self.aqm.on_dequeue(packet, now)
+        if self.on_sojourn is not None:
+            self.on_sojourn(now, now - packet.enqueue_time, packet)
+        return packet
+
+    def set_wakeup(self, fn: Callable[[], None]) -> None:
+        """Register the link's 'queue became non-empty' notification."""
+        self._wakeup = fn
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<AQMQueue pkts={len(self._fifo)} bytes={self._bytes}>"

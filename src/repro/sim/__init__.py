@@ -1,0 +1,6 @@
+"""Discrete-event simulation substrate: engine, clock, seeded RNG streams."""
+
+from repro.sim.engine import Event, PeriodicTimer, Simulator
+from repro.sim.random import RandomStreams
+
+__all__ = ["Simulator", "Event", "PeriodicTimer", "RandomStreams"]

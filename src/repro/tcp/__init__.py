@@ -1,0 +1,37 @@
+"""Transport substrate: window-based TCP models (Reno, Cubic, DCTCP)."""
+
+from repro.tcp.base import INITIAL_RTO, MIN_RTO, TcpSender
+from repro.tcp.cubic import CUBIC_BETA, CUBIC_C, CubicSender, EcnCubicSender
+from repro.tcp.dctcp import DCTCP_GAIN, DctcpSender
+from repro.tcp.receiver import DELACK_TIMEOUT, TcpReceiver
+from repro.tcp.reno import RenoSender
+from repro.tcp.scalable import STCP_A, STCP_B, RelentlessSender, ScalableTcpSender
+
+__all__ = [
+    "TcpSender",
+    "RenoSender",
+    "CubicSender",
+    "EcnCubicSender",
+    "DctcpSender",
+    "RelentlessSender",
+    "ScalableTcpSender",
+    "STCP_A",
+    "STCP_B",
+    "TcpReceiver",
+    "CUBIC_C",
+    "CUBIC_BETA",
+    "DCTCP_GAIN",
+    "MIN_RTO",
+    "INITIAL_RTO",
+    "DELACK_TIMEOUT",
+]
+
+#: Registry mapping the names used in experiment configs to sender classes.
+SENDERS = {
+    "reno": RenoSender,
+    "cubic": CubicSender,
+    "ecn-cubic": EcnCubicSender,
+    "dctcp": DctcpSender,
+    "relentless": RelentlessSender,
+    "scalable-tcp": ScalableTcpSender,
+}

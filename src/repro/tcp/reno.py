@@ -1,0 +1,20 @@
+"""TCP Reno (NewReno loss recovery, AIMD 1/0.5).
+
+The canonical 'Classic' congestion control of the paper: additive increase
+of one segment per RTT, multiplicative decrease of one half.  Its
+steady-state window follows equation (5), ``W = 1.22/√p`` — the square-root
+law whose non-linearity PI2's output squaring counterbalances.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.base import TcpSender
+
+__all__ = ["RenoSender"]
+
+
+class RenoSender(TcpSender):
+    """Plain TCP Reno.  All behaviour comes from :class:`TcpSender`."""
+
+    loss_beta = 0.5
+    ecn_beta = 0.5

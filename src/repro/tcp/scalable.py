@@ -1,0 +1,82 @@
+"""Other Scalable congestion controls — Relentless and Scalable TCP.
+
+Section 5 lists the family the coupled AQM's Scalable branch supports:
+"(DCTCP, Relentless, Scalable, ...)".  Both are implemented here so the
+coexistence machinery can be exercised with more than one member:
+
+* **Relentless TCP** (Mathis): congestion avoidance adds one segment per
+  RTT; each congestion mark subtracts exactly one segment from the
+  window (instead of a multiplicative cut).  Steady state balances
+  1 = p·W per RTT, so ``W = 1/p`` — Scalable with B = 1 and signal rate
+  c = p·W = 1 mark per RTT.
+* **Scalable TCP** (Kelly): MIMD — each ACK adds ``a`` segments (0.01),
+  each marked round cuts the window by factor ``b`` (0.125).  Steady
+  state: a·W per RTT of growth vs p·W marks each costing ≈ b·W/(p·W)…
+  integrated per RTT this balances at ``W = a/(b·p)`` = 0.08/p —
+  Scalable with B = 1.
+
+Both use the accurate (DCTCP-style) per-packet ECN echo and set ECT(1),
+so the coupled AQM classifies them as Scalable.  Under drop (loss) they
+fall back to a Reno-style halving for safety, like DCTCP.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.base import TcpSender
+
+__all__ = ["RelentlessSender", "ScalableTcpSender", "STCP_A", "STCP_B"]
+
+#: Scalable TCP's per-ACK additive gain and per-round decrease factor.
+STCP_A = 0.01
+STCP_B = 0.125
+
+
+class RelentlessSender(TcpSender):
+    """Relentless TCP: subtract one segment per CE mark."""
+
+    loss_beta = 0.5
+
+    def __init__(self, *args, **kwargs):
+        kwargs.setdefault("ecn_mode", "scalable")
+        if kwargs["ecn_mode"] != "scalable":
+            raise ValueError("RelentlessSender requires ecn_mode='scalable'")
+        super().__init__(*args, **kwargs)
+
+    def on_round_end(self, acked: int, marked: int) -> None:
+        if marked > 0 and not self.in_recovery:
+            self.ecn_reductions += 1
+            self.cwnd = max(self.min_cwnd, self.cwnd - marked)
+            self.ssthresh = self.cwnd
+
+
+class ScalableTcpSender(TcpSender):
+    """Scalable TCP (MIMD a = 0.01, b = 0.125), mark-driven."""
+
+    loss_beta = 1.0 - STCP_B
+
+    def __init__(self, *args, a: float = STCP_A, b: float = STCP_B, **kwargs):
+        kwargs.setdefault("ecn_mode", "scalable")
+        if kwargs["ecn_mode"] != "scalable":
+            raise ValueError("ScalableTcpSender requires ecn_mode='scalable'")
+        super().__init__(*args, **kwargs)
+        if not 0 < a < 1 or not 0 < b < 1:
+            raise ValueError(f"need 0 < a, b < 1 (got a={a}, b={b})")
+        self.a = a
+        self.b = b
+
+    def ca_increase(self, acked: int) -> None:
+        # MIMD: +a per ACKed segment (≈ a·W per RTT).
+        self.cwnd += self.a * acked
+
+    def on_round_end(self, acked: int, marked: int) -> None:
+        if acked <= 0:
+            return
+        if marked > 0 and not self.in_recovery:
+            self.ecn_reductions += 1
+            # A factor (1−b) per mark: per round the window loses
+            # ≈ b·m·W against MIMD growth a·W, balancing at m = a/b marks
+            # per RTT, i.e. W = (a/b)/p.
+            self.cwnd = max(
+                self.min_cwnd, self.cwnd * (1.0 - self.b) ** marked
+            )
+            self.ssthresh = self.cwnd

@@ -1,0 +1,70 @@
+"""Tests for the gain-headroom computation — the paper's ×2.5 claim.
+
+"Because the gain margin of PI2 is flatter, it can be made more
+responsive than PIE by increasing the gain factors by ×2.5 without the
+gain margin dipping below zero anywhere over the full load range."
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.bode import margins_reno_pi2, max_stable_gain
+from repro.analysis.fluid import PAPER_PI2_GAINS, PAPER_PIE_GAINS, PAPER_SCAL_GAINS
+
+R0 = 0.1
+LOAD_RANGE = (0.001, 0.01, 0.1, 0.5, 1.0)
+
+
+class TestHeadroomMechanics:
+    def test_matches_gain_margin(self):
+        """The max stable multiplier must equal the gain margin as a
+        ratio (a uniform gain scale shifts |L| without moving phase)."""
+        m = margins_reno_pi2(0.1, R0, PAPER_PI2_GAINS)
+        expected = 10 ** (m.gain_margin_db / 20)
+        got = max_stable_gain("reno_pi2", 0.1, R0, PAPER_PI2_GAINS)
+        assert got == pytest.approx(expected, rel=0.02)
+
+    def test_unstable_point_returns_zero(self):
+        assert max_stable_gain("reno_pi", 1e-4, R0, PAPER_PIE_GAINS) == 0.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            max_stable_gain("nope", 0.1, R0, PAPER_PI2_GAINS)
+
+
+class TestPaperHeadroomClaim:
+    def test_pi2_base_gains_admit_2_5x_everywhere(self):
+        """Starting from PIE's base gains with the squared output, ×2.5
+        (i.e. the PI2 defaults) must be stable over the full load range."""
+        for p in LOAD_RANGE:
+            headroom = max_stable_gain("reno_pi2", p, R0, PAPER_PIE_GAINS)
+            assert headroom > 2.5, f"p'={p}: headroom {headroom}"
+
+    def test_pi2_defaults_still_have_margin_to_spare(self):
+        """At the deployed 2.5× gains there is still >1 headroom (the
+        gain margin stays positive) everywhere."""
+        for p in LOAD_RANGE:
+            headroom = max_stable_gain("reno_pi2", p, R0, PAPER_PI2_GAINS)
+            assert headroom > 1.1, f"p'={p}"
+
+    def test_fixed_gain_direct_p_has_no_such_headroom(self):
+        """Without the square, no constant multiplier works across the
+        range: the low-p end is already unstable at ×1."""
+        assert max_stable_gain("reno_pi", 1e-3, R0, PAPER_PIE_GAINS) == 0.0
+        assert max_stable_gain("reno_pi", 0.5, R0, PAPER_PIE_GAINS) > 4.0
+
+    def test_scalable_admits_double_pi2_gains(self):
+        """The k = 2 gain ratio: Scalable-on-PI with 2× the PI2 gains
+        (i.e. the coupled defaults) keeps positive margin everywhere."""
+        for p in LOAD_RANGE:
+            headroom = max_stable_gain("scal_pi", p, R0, PAPER_SCAL_GAINS)
+            assert headroom > 1.1, f"p'={p}"
+
+    def test_auto_tuned_pie_headroom_smaller_than_pi2(self):
+        """PIE's stepped tuning leaves less uniform headroom at low p
+        than the squared loop — the reason PI2 can be more responsive."""
+        p = 0.01
+        pie = max_stable_gain("reno_pie", p, R0, PAPER_PIE_GAINS)
+        pi2 = max_stable_gain("reno_pi2", p, R0, PAPER_PIE_GAINS)
+        assert pi2 > pie

@@ -1,0 +1,135 @@
+"""Unit tests for the time-domain fluid model (Appendix B equations)."""
+
+import math
+
+import pytest
+
+from repro.analysis.timedomain import FluidScenario, simulate_fluid
+
+#: 10 Mb/s in 1448-byte segments per second.
+CAP_PPS = 10e6 / (1448 * 8)
+
+
+def scenario(**overrides):
+    defaults = dict(
+        capacity_pps=CAP_PPS,
+        n_flows=5,
+        base_rtt=0.1,
+        alpha=0.3125,
+        beta=3.125,
+        kind="reno_pi2",
+        duration=60.0,
+    )
+    defaults.update(overrides)
+    return FluidScenario(**defaults)
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            scenario(kind="bogus")
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            scenario(capacity_pps=0)
+        with pytest.raises(ValueError):
+            scenario(n_flows=-1)
+        with pytest.raises(ValueError):
+            scenario(duration=0)
+
+    def test_dt_must_resolve_rtt(self):
+        with pytest.raises(ValueError):
+            scenario(base_rtt=0.001, dt=0.01)
+
+
+class TestEquilibrium:
+    """Equation (19): W₀ = R₀C/N with R₀ = τ₀ + Tp, and the operating-point
+    identities W₀²p₀′² = 2 (Reno/PI2) and W₀p₀′ = 2 (Scalable/PI)."""
+
+    def test_queue_settles_on_target(self):
+        r = simulate_fluid(scenario())
+        assert r.tail_mean("queue_delay") == pytest.approx(0.020, rel=0.02)
+
+    def test_window_matches_r0c_over_n(self):
+        r = simulate_fluid(scenario())
+        w0 = (0.1 + 0.020) * CAP_PPS / 5
+        assert r.tail_mean("window") == pytest.approx(w0, rel=0.02)
+
+    def test_pi2_operating_point_w0_p0_squared(self):
+        r = simulate_fluid(scenario())
+        w0 = r.tail_mean("window")
+        p0 = r.tail_mean("p_prime")
+        assert w0 ** 2 * p0 ** 2 == pytest.approx(2.0, rel=0.05)
+
+    def test_scalable_operating_point_w0_p0(self):
+        r = simulate_fluid(scenario(kind="scal_pi", alpha=0.625, beta=6.25))
+        w0 = r.tail_mean("window")
+        p0 = r.tail_mean("p_prime")
+        assert w0 * p0 == pytest.approx(2.0, rel=0.05)
+
+    def test_direct_p_operating_point(self):
+        # Reno on direct p: W₀²p₀ = 2.
+        r = simulate_fluid(scenario(kind="reno_pi", alpha=0.125, beta=1.25))
+        w0 = r.tail_mean("window")
+        p0 = r.tail_mean("p_prime")
+        assert w0 ** 2 * p0 == pytest.approx(2.0, rel=0.05)
+
+    def test_applied_probability_is_squared_for_pi2(self):
+        r = simulate_fluid(scenario())
+        assert r.applied_p[-1] == pytest.approx(r.p_prime[-1] ** 2)
+
+    def test_more_flows_higher_probability(self):
+        p5 = simulate_fluid(scenario()).tail_mean("p_prime")
+        p20 = simulate_fluid(scenario(n_flows=20)).tail_mean("p_prime")
+        assert p20 > p5
+
+
+class TestDynamics:
+    def test_load_step_returns_to_target(self):
+        sc = scenario(
+            duration=80.0,
+            flows=lambda t: 5 if t < 40 else 25,
+        )
+        r = simulate_fluid(sc)
+        tail = [
+            v for t, v in zip(r.times, r.queue_delay) if t > 70.0
+        ]
+        assert sum(tail) / len(tail) == pytest.approx(0.020, rel=0.05)
+
+    def test_capacity_drop_transient_recovers(self):
+        sc = scenario(
+            duration=80.0,
+            capacity=lambda t: CAP_PPS if t < 40 else CAP_PPS / 5,
+        )
+        r = simulate_fluid(sc)
+        peak = r.peak("queue_delay", t_from=40.0)
+        assert peak > 0.020  # there is a transient...
+        tail = [v for t, v in zip(r.times, r.queue_delay) if t > 70.0]
+        assert sum(tail) / len(tail) == pytest.approx(0.020, rel=0.1)
+
+    def test_pi2_higher_gains_settle_faster_than_pie_base_gains(self):
+        """The responsiveness claim in the fluid domain: after a load
+        step, the 2.5× gains reach the target band sooner."""
+
+        def settle_time(alpha, beta):
+            sc = scenario(
+                alpha=alpha, beta=beta, duration=80.0,
+                flows=lambda t: 5 if t < 40 else 25,
+            )
+            r = simulate_fluid(sc)
+            for t, v in zip(r.times, r.queue_delay):
+                if t <= 42.0:
+                    continue
+                if abs(v - 0.020) < 0.004:
+                    # require it to stay in band for a second
+                    window = [
+                        u for s, u in zip(r.times, r.queue_delay)
+                        if t <= s <= t + 1.0
+                    ]
+                    if all(abs(u - 0.020) < 0.008 for u in window):
+                        return t - 40.0
+            return math.inf
+
+        fast = settle_time(0.3125, 3.125)
+        slow = settle_time(0.125, 1.25)
+        assert fast <= slow

@@ -1,0 +1,85 @@
+"""Unit tests for the CoDel baseline."""
+
+import pytest
+
+from repro.aqm.base import Decision
+from repro.aqm.codel import CodelAqm
+from tests.conftest import make_packet
+
+
+def dequeue_with_sojourn(aqm, now, sojourn):
+    pkt = make_packet()
+    pkt.enqueue_time = now - sojourn
+    aqm.on_dequeue(pkt, now)
+
+
+class TestStateMachine:
+    def test_no_signal_below_target(self):
+        aqm = CodelAqm()
+        for i in range(100):
+            dequeue_with_sojourn(aqm, i * 0.01, 0.001)
+        assert not aqm.dropping
+        assert aqm.on_enqueue(make_packet()) is Decision.PASS
+
+    def test_enters_dropping_after_interval_above_target(self):
+        aqm = CodelAqm(target=0.005, interval=0.100)
+        t = 0.0
+        while t < 0.25:
+            dequeue_with_sojourn(aqm, t, 0.010)
+            t += 0.005
+        assert aqm.dropping
+
+    def test_brief_excursion_does_not_trigger(self):
+        aqm = CodelAqm(target=0.005, interval=0.100)
+        dequeue_with_sojourn(aqm, 0.00, 0.010)
+        dequeue_with_sojourn(aqm, 0.05, 0.010)
+        dequeue_with_sojourn(aqm, 0.08, 0.001)  # dips below target
+        dequeue_with_sojourn(aqm, 0.15, 0.010)
+        assert not aqm.dropping
+
+    def test_signal_applied_to_next_arrival(self):
+        aqm = CodelAqm(target=0.005, interval=0.050)
+        t = 0.0
+        signalled = 0
+        while t < 1.0:
+            dequeue_with_sojourn(aqm, t, 0.020)
+            if aqm.on_enqueue(make_packet()) is Decision.DROP:
+                signalled += 1
+            t += 0.005
+        assert signalled >= 2
+
+    def test_drop_spacing_shrinks_with_count(self):
+        aqm = CodelAqm(target=0.005, interval=0.100)
+        aqm.count = 4
+        base = aqm._control_law(0.0)
+        aqm.count = 16
+        assert aqm._control_law(0.0) < base
+
+    def test_exits_dropping_when_below_target(self):
+        aqm = CodelAqm(target=0.005, interval=0.050)
+        t = 0.0
+        while t < 0.5:
+            dequeue_with_sojourn(aqm, t, 0.020)
+            t += 0.005
+        assert aqm.dropping
+        dequeue_with_sojourn(aqm, t, 0.001)
+        assert not aqm.dropping
+
+    def test_marks_ecn_capable(self):
+        from repro.net.packet import ECN
+
+        aqm = CodelAqm(target=0.005, interval=0.050)
+        t = 0.0
+        decisions = set()
+        while t < 1.0:
+            dequeue_with_sojourn(aqm, t, 0.020)
+            decisions.add(aqm.on_enqueue(make_packet(ecn=ECN.ECT0)))
+            t += 0.005
+        assert Decision.MARK in decisions
+        assert Decision.DROP not in decisions
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            CodelAqm(target=0)
+        with pytest.raises(ValueError):
+            CodelAqm(interval=-1)

@@ -1,0 +1,94 @@
+"""Unit tests for the RED baseline."""
+
+import random
+
+import pytest
+
+from repro.aqm.base import Decision
+from repro.aqm.red import RedAqm
+from repro.net.packet import ECN
+from tests.conftest import StubQueue, make_packet
+
+
+def red(queue, **kwargs):
+    kwargs.setdefault("rng", random.Random(1))
+    aqm = RedAqm(**kwargs)
+    aqm.queue = queue
+    return aqm
+
+
+class TestRampShape:
+    def test_below_min_th_never_signals(self):
+        aqm = red(StubQueue(delay=0.001))
+        assert all(
+            aqm.on_enqueue(make_packet()) is Decision.PASS for _ in range(500)
+        )
+
+    def test_probability_ramps_between_thresholds(self):
+        aqm = red(StubQueue(delay=0.020), weight=1.0)
+        aqm.on_enqueue(make_packet())  # update avg once
+        assert aqm.probability == pytest.approx(
+            0.10 * (0.020 - 0.010) / (0.030 - 0.010)
+        )
+
+    def test_gentle_region_ramps_to_one(self):
+        aqm = red(StubQueue(delay=0.045), weight=1.0)
+        aqm.on_enqueue(make_packet())
+        expected = 0.10 + 0.90 * (0.045 - 0.030) / 0.030
+        assert aqm.probability == pytest.approx(expected)
+
+    def test_above_twice_max_th_drops_all(self):
+        aqm = red(StubQueue(delay=0.100), weight=1.0, count_spread=False)
+        aqm.on_enqueue(make_packet())
+        assert aqm.probability == 1.0
+
+    def test_non_gentle_drops_hard_above_max_th(self):
+        aqm = red(StubQueue(delay=0.035), weight=1.0, gentle=False)
+        aqm.on_enqueue(make_packet())
+        assert aqm.probability == 1.0
+
+
+class TestAveraging:
+    def test_ewma_lags_instantaneous(self):
+        queue = StubQueue(delay=0.050)
+        aqm = red(queue, weight=0.002)
+        aqm.on_enqueue(make_packet())
+        assert aqm.avg < 0.050
+
+    def test_avg_converges(self):
+        queue = StubQueue(delay=0.050)
+        aqm = red(queue, weight=0.1, count_spread=False)
+        for _ in range(200):
+            aqm.on_enqueue(make_packet())
+        assert aqm.avg == pytest.approx(0.050, rel=0.01)
+
+
+class TestEcnAndValidation:
+    def test_marks_ect_in_ramp(self):
+        aqm = red(StubQueue(delay=0.025), weight=1.0, max_p=1.0,
+                  count_spread=False)
+        aqm.on_enqueue(make_packet())  # seed avg
+        decisions = {
+            aqm.on_enqueue(make_packet(ecn=ECN.ECT0)) for _ in range(300)
+        }
+        assert Decision.MARK in decisions
+        assert Decision.DROP not in decisions
+
+    def test_drops_not_ect(self):
+        aqm = red(StubQueue(delay=0.025), weight=1.0, max_p=1.0,
+                  count_spread=False)
+        aqm.on_enqueue(make_packet())
+        decisions = {aqm.on_enqueue(make_packet()) for _ in range(300)}
+        assert Decision.DROP in decisions
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_th": 0.03, "max_th": 0.01},
+            {"max_p": 0.0},
+            {"weight": 0.0},
+        ],
+    )
+    def test_invalid_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RedAqm(**kwargs)

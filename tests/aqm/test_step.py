@@ -1,0 +1,80 @@
+"""Unit tests for the step-threshold (DCTCP-style) marker."""
+
+import pytest
+
+from repro.aqm.base import Decision
+from repro.aqm.step import StepThresholdAqm
+from repro.net.packet import ECN
+from tests.conftest import StubQueue, make_packet
+
+
+class TestThresholds:
+    def test_below_delay_threshold_passes(self):
+        aqm = StepThresholdAqm(threshold_delay=0.001)
+        aqm.queue = StubQueue(delay=0.0005)
+        assert aqm.on_enqueue(make_packet(ecn=ECN.ECT1)) is Decision.PASS
+
+    def test_above_delay_threshold_marks(self):
+        aqm = StepThresholdAqm(threshold_delay=0.001)
+        aqm.queue = StubQueue(delay=0.002)
+        assert aqm.on_enqueue(make_packet(ecn=ECN.ECT1)) is Decision.MARK
+
+    def test_byte_threshold_takes_precedence(self):
+        aqm = StepThresholdAqm(threshold_delay=1.0, threshold_bytes=1000)
+        aqm.queue = StubQueue(delay=0.0, bytes_=2000)
+        assert aqm.on_enqueue(make_packet(ecn=ECN.ECT0)) is Decision.MARK
+
+    def test_exact_threshold_passes(self):
+        aqm = StepThresholdAqm(threshold_bytes=1000)
+        aqm.queue = StubQueue(bytes_=1000)
+        assert aqm.on_enqueue(make_packet(ecn=ECN.ECT1)) is Decision.PASS
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            StepThresholdAqm(threshold_delay=0)
+        with pytest.raises(ValueError):
+            StepThresholdAqm(threshold_bytes=0)
+
+
+class TestNotEct:
+    def test_not_ect_passes_by_default(self):
+        aqm = StepThresholdAqm(threshold_delay=0.001)
+        aqm.queue = StubQueue(delay=0.010)
+        assert aqm.on_enqueue(make_packet(ecn=ECN.NOT_ECT)) is Decision.PASS
+
+    def test_not_ect_dropped_when_configured(self):
+        aqm = StepThresholdAqm(threshold_delay=0.001, drop_not_ect=True)
+        aqm.queue = StubQueue(delay=0.010)
+        assert aqm.on_enqueue(make_packet(ecn=ECN.NOT_ECT)) is Decision.DROP
+
+
+class TestAccounting:
+    def test_marking_fraction(self):
+        aqm = StepThresholdAqm(threshold_delay=0.001)
+        queue = StubQueue(delay=0.002)
+        aqm.queue = queue
+        for i in range(10):
+            queue.delay = 0.002 if i < 5 else 0.0
+            aqm.on_enqueue(make_packet(ecn=ECN.ECT1))
+        assert aqm.probability == pytest.approx(0.5)
+
+    def test_zero_seen_probability(self):
+        assert StepThresholdAqm().probability == 0.0
+
+
+class TestOnOffDynamics:
+    def test_step_produces_mark_trains(self, sim, streams):
+        """With a single DCTCP flow, marking comes in on-off bursts (the
+        RTT-length trains Appendix A's equation (12) derivation assumes),
+        unlike the evenly spread probabilistic marker."""
+        from repro.harness.topology import Dumbbell
+
+        bed = Dumbbell(
+            sim, streams, 10e6, StepThresholdAqm(threshold_bytes=8000)
+        )
+        bed.add_tcp_flow("dctcp", rtt=0.04)
+        sim.run(20.0)
+        aqm = bed.aqm
+        assert aqm.marked > 0
+        # Marked fraction is well inside (0, 1): on-off, not all-or-none.
+        assert 0.005 < aqm.probability < 0.5

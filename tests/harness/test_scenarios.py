@@ -1,0 +1,67 @@
+"""Unit tests for the canned paper scenarios (configuration shape only —
+behavioural checks live in tests/integration)."""
+
+import pytest
+
+from repro.harness.factories import pi2_factory
+from repro.harness.scenarios import (
+    MBPS,
+    coexistence_mix,
+    coexistence_pair,
+    heavy_tcp,
+    light_tcp,
+    tcp_plus_udp,
+    varying_capacity,
+    varying_intensity,
+)
+
+
+class TestFigure11Scenarios:
+    def test_light_tcp_is_5_flows(self):
+        exp = light_tcp(pi2_factory())
+        assert exp.flows[0].count == 5
+        assert exp.capacity_bps == 10 * MBPS
+        assert exp.flows[0].rtt == pytest.approx(0.100)
+
+    def test_heavy_tcp_is_50_flows(self):
+        assert heavy_tcp(pi2_factory()).flows[0].count == 50
+
+    def test_tcp_plus_udp_has_12mbps_of_udp(self):
+        exp = tcp_plus_udp(pi2_factory())
+        total_udp = sum(g.rate_bps * g.count for g in exp.udp)
+        assert total_udp == pytest.approx(12 * MBPS)
+
+
+class TestDynamicScenarios:
+    def test_varying_intensity_stages(self):
+        exp = varying_intensity(pi2_factory(), stage=50.0)
+        assert exp.duration == 250.0
+        counts = sorted(g.count for g in exp.flows)
+        assert counts == [10, 20, 20]
+        # Peak concurrency is 50 flows in the middle stage.
+        stage3 = [g for g in exp.flows if g.start <= 100.0 < (g.stop or 1e9)]
+        assert sum(g.count for g in stage3) == 50
+
+    def test_varying_capacity_schedule(self):
+        exp = varying_capacity(pi2_factory(), stage=50.0)
+        assert exp.capacity_bps == 100 * MBPS
+        assert list(exp.capacity_schedule) == [(50.0, 20 * MBPS), (100.0, 100 * MBPS)]
+
+
+class TestCoexistenceScenarios:
+    def test_pair_has_one_flow_per_class(self):
+        exp = coexistence_pair(pi2_factory())
+        assert [g.count for g in exp.flows] == [1, 1]
+        assert {g.cc for g in exp.flows} == {"dctcp", "cubic"}
+
+    def test_mix_counts(self):
+        exp = coexistence_mix(pi2_factory(), 3, 7)
+        assert [(g.cc, g.count) for g in exp.flows] == [("dctcp", 3), ("cubic", 7)]
+
+    def test_mix_with_zero_class(self):
+        exp = coexistence_mix(pi2_factory(), 0, 10)
+        assert len(exp.flows) == 1
+
+    def test_mix_requires_some_flows(self):
+        with pytest.raises(ValueError):
+            coexistence_mix(pi2_factory(), 0, 0)

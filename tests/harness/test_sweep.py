@@ -1,0 +1,75 @@
+"""Unit tests for grid sweeps and table formatting."""
+
+import pytest
+
+from repro.harness.factories import pi2_factory, coupled_factory
+from repro.harness.sweep import (
+    PAPER_FLOW_MIXES,
+    PAPER_LINK_MBPS,
+    PAPER_RTTS_MS,
+    format_table,
+    run_coexistence_grid,
+    run_mix_sweep,
+)
+
+
+class TestPaperGrids:
+    def test_grid_dimensions(self):
+        assert PAPER_LINK_MBPS == (4, 12, 40, 120, 200)
+        assert PAPER_RTTS_MS == (5, 10, 20, 50, 100)
+
+    def test_mixes_include_extremes(self):
+        assert (0, 10) in PAPER_FLOW_MIXES
+        assert (10, 0) in PAPER_FLOW_MIXES
+        assert (5, 5) in PAPER_FLOW_MIXES
+
+
+class TestRunGrid:
+    def test_tiny_grid_runs(self):
+        cells = run_coexistence_grid(
+            coupled_factory(),
+            links_mbps=[10],
+            rtts_ms=[10, 20],
+            duration=6.0,
+            warmup=3.0,
+        )
+        assert len(cells) == 2
+        for cell in cells:
+            assert cell.result.total_goodput_bps() > 1e6
+
+    def test_duration_override(self):
+        seen = []
+
+        def duration_for(link, rtt):
+            seen.append((link, rtt))
+            return 4.0
+
+        run_coexistence_grid(
+            coupled_factory(), links_mbps=[10], rtts_ms=[10],
+            duration_for=duration_for, warmup=2.0,
+        )
+        assert seen == [(10, 10)]
+
+    def test_mix_sweep_runs(self):
+        results = run_mix_sweep(
+            coupled_factory(), mixes=[(1, 1)], capacity_mbps=10,
+            duration=6.0, warmup=3.0,
+        )
+        assert (1, 1) in results
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(
+            ["a", "bb"], [[1, 2.5], [10, 0.001]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[123.456], [0.1234], [1.5]])
+        assert "123" in out
+        assert "0.1234" in out
+        assert "1.50" in out

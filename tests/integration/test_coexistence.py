@@ -1,0 +1,100 @@
+"""Integration tests for the coexistence claims (Figures 15–20, condensed).
+
+The shape-level assertions: under PIE, DCTCP starves Cubic by roughly an
+order of magnitude; under the coupled PI+PI2 the per-flow ratio comes back
+near 1; queue delay stays near target and utilization high under both.
+"""
+
+import pytest
+
+from repro.harness.experiment import run_experiment
+from repro.harness.factories import coupled_factory, pie_factory
+from repro.harness.scenarios import MBPS, coexistence_mix, coexistence_pair
+
+
+def pair(factory, **kw):
+    kw.setdefault("duration", 30.0)
+    kw.setdefault("warmup", 10.0)
+    return run_experiment(coexistence_pair(factory, **kw))
+
+
+class TestStarvationUnderPie:
+    def test_dctcp_starves_cubic(self):
+        r = pair(pie_factory())
+        ratio = r.balance("cubic", "dctcp")
+        assert ratio < 0.25  # paper: ~0.1
+
+    def test_ecn_cubic_fair_with_cubic_under_pie(self):
+        """The control case: same CC, only ECN differs → ratio ≈ 1."""
+        r = pair(pie_factory(), cc_a="ecn-cubic", cc_b="cubic")
+        assert r.balance("cubic", "ecn-cubic") == pytest.approx(1.0, abs=0.5)
+
+
+class TestBalanceUnderCoupledPi2:
+    def test_cubic_dctcp_near_equal(self):
+        r = pair(coupled_factory())
+        ratio = r.balance("cubic", "dctcp")
+        assert 0.4 < ratio < 2.5  # paper: ≈ 1 (vs ~0.1 for PIE)
+
+    def test_pi2_improves_on_pie_by_large_factor(self):
+        pie_ratio = pair(pie_factory()).balance("cubic", "dctcp")
+        pi2_ratio = pair(coupled_factory()).balance("cubic", "dctcp")
+        assert pi2_ratio > pie_ratio * 4
+
+    def test_balance_across_rtts(self):
+        for rtt in (0.005, 0.020):
+            r = pair(coupled_factory(), rtt=rtt)
+            assert 0.3 < r.balance("cubic", "dctcp") < 3.0, f"rtt={rtt}"
+
+    def test_balance_at_low_link_rate(self):
+        r = pair(coupled_factory(), capacity_bps=4 * MBPS, rtt=0.020)
+        assert 0.3 < r.balance("cubic", "dctcp") < 3.0
+
+    def test_ecn_cubic_control_case(self):
+        r = pair(coupled_factory(), cc_a="ecn-cubic", cc_b="cubic")
+        assert r.balance("cubic", "ecn-cubic") == pytest.approx(1.0, abs=0.5)
+
+
+class TestSharedQueueProperties:
+    def test_queue_delay_near_target_both_aqms(self):
+        for factory in (pie_factory(), coupled_factory()):
+            r = pair(factory)
+            assert r.sojourn_summary()["mean"] == pytest.approx(0.020, abs=0.012)
+
+    def test_utilization_high_both_aqms(self):
+        for factory in (pie_factory(), coupled_factory()):
+            r = pair(factory)
+            assert r.mean_utilization() > 0.90
+
+    def test_coupled_probability_relation_in_flight(self):
+        """During the run, the applied probabilities obey ps ≈ 2·√pc."""
+        r = pair(coupled_factory())
+        aqm = r.aqm
+        assert aqm.classic_probability == pytest.approx(
+            (aqm.probability / 2) ** 2, rel=1e-9
+        )
+
+
+class TestFlowCountMixes:
+    """Figure 19/20 condensed: the balance holds for uneven mixes."""
+
+    @pytest.mark.parametrize("n_a,n_b", [(1, 3), (3, 1), (2, 2)])
+    def test_mix_balance(self, n_a, n_b):
+        r = run_experiment(
+            coexistence_mix(
+                coupled_factory(), n_a, n_b,
+                capacity_bps=40 * MBPS, rtt=0.010,
+                duration=25.0, warmup=10.0,
+            )
+        )
+        assert 0.3 < r.balance("cubic", "dctcp") < 3.0
+
+    def test_single_class_mix_runs(self):
+        r = run_experiment(
+            coexistence_mix(
+                coupled_factory(), 0, 4,
+                capacity_bps=10 * MBPS, rtt=0.010,
+                duration=15.0, warmup=5.0,
+            )
+        )
+        assert sum(r.goodputs("cubic")) > 5 * MBPS

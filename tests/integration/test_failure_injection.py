@@ -1,0 +1,94 @@
+"""Failure-injection tests: the transport machinery under adverse paths."""
+
+import pytest
+
+from repro.harness.experiment import Experiment, FlowGroup, run_experiment
+from repro.harness.factories import pi2_factory, pie_factory
+from repro.net.pipe import LossyPipe
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.tcp.reno import RenoSender
+from repro.tcp.receiver import TcpReceiver
+from repro.net.pipe import Pipe
+
+
+class TestRandomPathLoss:
+    def _run_with_loss(self, fwd_loss, rev_loss, flow_size=400, seed=1):
+        sim = Simulator()
+        streams = RandomStreams(seed)
+        rev = LossyPipe(sim, 0.05, loss=rev_loss, rng=streams.stream("rev"))
+        fwd = LossyPipe(sim, 0.05, loss=fwd_loss, rng=streams.stream("fwd"))
+        sender = RenoSender(sim, 0, transmit=fwd.deliver, flow_size=flow_size)
+        receiver = TcpReceiver(sim, 0, ack_out=rev.deliver)
+        fwd.sink = receiver
+        rev.sink = sender
+        sender.start(0.0)
+        sim.run(120.0)
+        return sender, receiver
+
+    def test_completes_under_5pct_data_loss(self):
+        sender, receiver = self._run_with_loss(0.05, 0.0)
+        assert sender.completed
+        assert receiver.rcv_next == 400
+
+    def test_completes_under_ack_loss(self):
+        """Cumulative ACKs tolerate reverse-path loss."""
+        sender, receiver = self._run_with_loss(0.0, 0.3)
+        assert sender.completed
+        assert receiver.rcv_next == 400
+
+    def test_completes_under_bidirectional_loss(self):
+        sender, receiver = self._run_with_loss(0.05, 0.1)
+        assert sender.completed
+
+    def test_heavy_loss_progresses_via_timeouts(self):
+        sender, receiver = self._run_with_loss(0.3, 0.0, flow_size=50)
+        assert sender.completed
+        assert sender.timeouts > 0
+
+
+class TestCapacityCollapse:
+    def test_aqm_recovers_from_10x_capacity_drop(self):
+        r = run_experiment(
+            Experiment(
+                capacity_bps=100e6,
+                duration=40.0,
+                warmup=5.0,
+                aqm_factory=pi2_factory(),
+                flows=[FlowGroup(cc="reno", count=10, rtt=0.02)],
+                capacity_schedule=[(15.0, 10e6)],
+            )
+        )
+        # After the collapse the controller must re-pin the target.
+        tail = r.queue_delay.window(30.0, 40.0)
+        assert tail.mean() == pytest.approx(0.020, abs=0.015)
+
+    def test_capacity_increase_keeps_queue_controlled(self):
+        r = run_experiment(
+            Experiment(
+                capacity_bps=10e6,
+                duration=40.0,
+                warmup=5.0,
+                aqm_factory=pie_factory(),
+                flows=[FlowGroup(cc="reno", count=10, rtt=0.02)],
+                capacity_schedule=[(15.0, 100e6)],
+            )
+        )
+        tail = r.queue_delay.window(30.0, 40.0)
+        assert tail.max() < 0.100
+
+
+class TestBufferExhaustion:
+    def test_tiny_buffer_tail_drops_but_flows_survive(self):
+        r = run_experiment(
+            Experiment(
+                capacity_bps=10e6,
+                duration=20.0,
+                warmup=5.0,
+                aqm_factory=pi2_factory(),
+                flows=[FlowGroup(cc="reno", count=10, rtt=0.05)],
+                buffer_packets=20,
+            )
+        )
+        assert r.queue_stats.tail_dropped > 0
+        assert sum(r.goodputs("reno")) > 5e6

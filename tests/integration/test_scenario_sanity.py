@@ -1,0 +1,56 @@
+"""Sanity runs for each canned scenario at reduced duration.
+
+Every scenario builder must produce a runnable experiment whose headline
+metric lands in a physically sensible band — a guard against config rot
+(wrong rates, broken flow schedules) that unit tests on the dataclasses
+alone would miss.
+"""
+
+import pytest
+
+from repro.harness import (
+    MBPS,
+    heavy_tcp,
+    light_tcp,
+    pi2_factory,
+    run_experiment,
+    tcp_plus_udp,
+    varying_capacity,
+    varying_intensity,
+)
+
+
+class TestScenarioRuns:
+    def test_light_tcp(self):
+        r = run_experiment(light_tcp(pi2_factory(), duration=15.0))
+        assert 0.5 * 10 * MBPS < r.total_goodput_bps() < 10.5 * MBPS
+
+    def test_heavy_tcp(self):
+        r = run_experiment(heavy_tcp(pi2_factory(), duration=15.0))
+        assert r.mean_utilization() > 0.9
+        assert len(r.goodputs("reno")) == 50
+
+    def test_tcp_plus_udp_overload_is_real(self):
+        r = run_experiment(tcp_plus_udp(pi2_factory(), duration=15.0))
+        # The UDP groups alone overload the link; utilization is pinned.
+        assert r.mean_utilization() > 0.95
+
+    def test_varying_intensity_flow_schedule(self):
+        exp = varying_intensity(pi2_factory(), stage=4.0)
+        r = run_experiment(exp)
+        bed = r.bed
+        # 50 senders total were created (10 + 20 + 20).
+        assert len(bed.senders) == 50
+        # The stage-3-only group stopped before the end.
+        stopped = sum(1 for s in bed.senders.values() if s.completed)
+        assert stopped >= 20
+
+    def test_varying_capacity_final_rate(self):
+        exp = varying_capacity(pi2_factory(), stage=4.0)
+        r = run_experiment(exp)
+        assert r.bed.link.capacity_bps == 100 * MBPS  # back at the high rate
+
+    def test_all_scenarios_keep_queue_bounded(self):
+        for build in (light_tcp, heavy_tcp):
+            r = run_experiment(build(pi2_factory(), duration=12.0))
+            assert r.queue_delay.max(4.0) < 0.5

@@ -1,0 +1,110 @@
+"""Integration oracle: measured steady-state windows vs Appendix A laws.
+
+Each test runs one flow against a constant-probability marker/dropper on a
+fast link (so queueing is negligible and the RTT is the configured base
+RTT) and compares the goodput-derived mean window with the closed form.
+
+Loss-driven flows (Reno, Cubic) run below the law because NewReno recovery
+without SACK pays real throughput costs under i.i.d. loss — the tests
+bound the ratio rather than pin it.  ECN-driven flows (ECN-Cubic, DCTCP)
+lose nothing to recovery and match tightly.
+"""
+
+import pytest
+
+from repro.aqm.fixed import DeterministicMarker, FixedProbabilityAqm
+from repro.analysis import steady_state as ss
+from repro.harness.experiment import Experiment, FlowGroup, run_experiment
+
+MSS = 1448
+RTT = 0.04
+
+
+def measure_window(cc: str, p: float, duration=50.0, deterministic=False, seed=3):
+    def factory(rng):
+        if deterministic:
+            return DeterministicMarker(p)
+        return FixedProbabilityAqm(p, rng)
+
+    exp = Experiment(
+        capacity_bps=200e6,
+        duration=duration,
+        warmup=15.0,
+        aqm_factory=factory,
+        flows=[FlowGroup(cc=cc, count=1, rtt=RTT, label="x")],
+        seed=seed,
+        record_sojourns=False,
+    )
+    result = run_experiment(exp)
+    rate = sum(result.goodputs("x"))
+    return rate * RTT / (MSS * 8)
+
+
+class TestRenoLaw:
+    """Equation (5): W = 1.22/√p."""
+
+    def test_low_p_matches(self):
+        w = measure_window("reno", 0.003)
+        assert w / ss.window_reno(0.003) == pytest.approx(1.0, abs=0.2)
+
+    def test_moderate_p_within_recovery_costs(self):
+        w = measure_window("reno", 0.01)
+        assert 0.6 < w / ss.window_reno(0.01) <= 1.1
+
+    def test_square_root_exponent(self):
+        """W(p)/W(4p) ≈ 2 — the exponent, independent of the constant."""
+        w1 = measure_window("reno", 0.0025)
+        w2 = measure_window("reno", 0.01)
+        assert w1 / w2 == pytest.approx(2.0, rel=0.25)
+
+
+class TestCRenoLaw:
+    """Equation (7): W = 1.68/√p for Cubic at low rate·RTT."""
+
+    def test_ecn_cubic_matches_tightly(self):
+        w = measure_window("ecn-cubic", 0.01)
+        assert w / ss.window_creno(0.01) == pytest.approx(1.0, abs=0.15)
+
+    def test_loss_cubic_within_recovery_costs(self):
+        w = measure_window("cubic", 0.01)
+        assert 0.55 < w / ss.window_creno(0.01) <= 1.1
+
+    def test_creno_above_reno(self):
+        """The 1.68 vs 1.22 constants: CReno sustains a larger window at
+        the same signal probability (both measured via ECN to exclude
+        recovery-cost asymmetry; reno has no ECN variant here so compare
+        cubic-ecn against the analytic reno law)."""
+        w = measure_window("ecn-cubic", 0.01)
+        assert w > ss.window_reno(0.01)
+
+
+class TestDctcpLaw:
+    """Equation (11): W = 2/p under probabilistic marking."""
+
+    @pytest.mark.parametrize("p", [0.02, 0.05, 0.1])
+    def test_matches_bernoulli_marker(self, p):
+        w = measure_window("dctcp", p)
+        assert w / ss.window_dctcp(p) == pytest.approx(1.0, abs=0.15)
+
+    def test_matches_deterministic_marker(self):
+        w = measure_window("dctcp", 0.05, deterministic=True)
+        assert w / ss.window_dctcp(0.05) == pytest.approx(1.0, abs=0.15)
+
+    def test_linear_exponent(self):
+        """W(p)/W(2p) ≈ 2: B = 1, the defining Scalable property."""
+        w1 = measure_window("dctcp", 0.04)
+        w2 = measure_window("dctcp", 0.08)
+        assert w1 / w2 == pytest.approx(2.0, rel=0.2)
+
+
+class TestScalabilityContrast:
+    """Section 2: signals per RTT shrink for Classic, not for Scalable."""
+
+    def test_dctcp_signal_rate_constant_reno_shrinks(self):
+        # c = p·W measured at two probabilities.
+        c_reno = [p * measure_window("reno", p) for p in (0.0025, 0.01)]
+        c_dctcp = [p * measure_window("dctcp", p) for p in (0.04, 0.16)]
+        # Reno: c halves as p quarters (W doubles). DCTCP: c constant ≈ 2.
+        assert c_reno[0] / c_reno[1] == pytest.approx(0.5, rel=0.35)
+        assert c_dctcp[0] == pytest.approx(2.0, rel=0.3)
+        assert c_dctcp[1] == pytest.approx(2.0, rel=0.3)

@@ -1,0 +1,76 @@
+"""Tests for JSON/CSV result export."""
+
+import csv
+import json
+import math
+
+import pytest
+
+from repro.harness.experiment import Experiment, FlowGroup, run_experiment
+from repro.harness.factories import pi2_factory
+from repro.metrics.export import result_summary, write_result_json, write_series_csv
+from repro.metrics.series import TimeSeries
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment(
+        Experiment(
+            capacity_bps=10e6,
+            duration=8.0,
+            warmup=2.0,
+            aqm_factory=pi2_factory(),
+            flows=[FlowGroup(cc="reno", count=2, rtt=0.02, label="reno")],
+        )
+    )
+
+
+class TestSummary:
+    def test_config_round_trips(self, result):
+        summary = result_summary(result)
+        assert summary["config"]["capacity_bps"] == 10e6
+        assert summary["config"]["flows"][0]["cc"] == "reno"
+        assert summary["config"]["flows"][0]["count"] == 2
+
+    def test_metrics_present(self, result):
+        summary = result_summary(result)
+        assert summary["queue_delay"]["mean"] > 0
+        assert 0 < summary["utilization"]["mean"] <= 1.01
+        assert len(summary["goodput_bps"]["reno"]) == 2
+        assert summary["aqm"]["type"] == "Pi2Aqm"
+
+    def test_json_serializable(self, result):
+        text = json.dumps(result_summary(result))
+        assert "NaN" not in text
+
+    def test_counters(self, result):
+        summary = result_summary(result)
+        counters = summary["queue_counters"]
+        assert counters["arrived"] >= counters["dequeued"]
+
+
+class TestFiles:
+    def test_write_json(self, result, tmp_path):
+        path = write_result_json(result, tmp_path / "out.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["config"]["seed"] == 1
+
+    def test_write_series_csv(self, tmp_path):
+        series = TimeSeries("qdelay")
+        series.append(0.0, 1.5)
+        series.append(1.0, 2.5)
+        path = write_series_csv(series, tmp_path / "series.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["time_s", "qdelay"]
+        assert float(rows[1][1]) == 1.5
+        assert float(rows[2][0]) == 1.0
+
+    def test_csv_round_trip_precision(self, tmp_path):
+        series = TimeSeries()
+        series.append(1 / 3, math.pi)
+        path = write_series_csv(series, tmp_path / "p.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert float(rows[1][0]) == 1 / 3
+        assert float(rows[1][1]) == math.pi

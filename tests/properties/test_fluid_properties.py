@@ -1,0 +1,83 @@
+"""Property-based tests of the fluid model's equilibrium identities.
+
+Across random operating conditions (capacity, flow count, RTT), the
+integrated fluid model must land on the closed-form operating point of
+equation (19):  W₀ = R₀C/N with R₀ = Tp + τ₀, queue delay = τ₀, and the
+controller output satisfying the plant's window law.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.timedomain import FluidScenario, simulate_fluid
+
+
+@st.composite
+def operating_points(draw):
+    # n ≥ 5 keeps the per-flow sawtooth small relative to the aggregate,
+    # so cycle-averaged means approximate the fixed point (with 2 flows
+    # the nonlinear limit cycle biases mean(W)·mean(p') — a Jensen effect,
+    # not a model error).
+    capacity_mbps = draw(st.sampled_from([5.0, 10.0, 20.0, 50.0]))
+    n_flows = draw(st.integers(min_value=5, max_value=20))
+    base_rtt_ms = draw(st.sampled_from([20.0, 50.0, 100.0]))
+    cap_pps = capacity_mbps * 1e6 / (1448 * 8)
+    # Keep the equilibrium window comfortably above the 1-packet floor
+    # and the signal probability within (0, 1).
+    r0 = base_rtt_ms / 1e3 + 0.020
+    w0 = r0 * cap_pps / n_flows
+    assume(4.0 < w0 < 2000.0)
+    return cap_pps, n_flows, base_rtt_ms / 1e3
+
+
+class TestEquilibriumProperties:
+    @given(op=operating_points())
+    @settings(max_examples=12, deadline=None)
+    def test_pi2_operating_point(self, op):
+        cap_pps, n_flows, base_rtt = op
+        result = simulate_fluid(
+            FluidScenario(
+                capacity_pps=cap_pps, n_flows=n_flows, base_rtt=base_rtt,
+                alpha=0.3125, beta=3.125, kind="reno_pi2",
+                duration=max(60.0, 400 * base_rtt), dt=0.001,
+            )
+        )
+        r0 = base_rtt + 0.020
+        w0 = r0 * cap_pps / n_flows
+        assert result.tail_mean("queue_delay") == pytest.approx(0.020, rel=0.1)
+        assert result.tail_mean("window") == pytest.approx(w0, rel=0.1)
+        # Reno-with-square operating identity (W₀·p₀′)² = 2 holds at the
+        # fixed point; when the loop rides a benign limit cycle, clipping
+        # at p' = 0 biases mean(p') low, so assert a sanity band.
+        p0 = result.tail_mean("p_prime")
+        assert 0.8 < (result.tail_mean("window") * p0) ** 2 < 3.0
+
+    @given(op=operating_points())
+    @settings(max_examples=8, deadline=None)
+    def test_scalable_operating_point(self, op):
+        cap_pps, n_flows, base_rtt = op
+        result = simulate_fluid(
+            FluidScenario(
+                capacity_pps=cap_pps, n_flows=n_flows, base_rtt=base_rtt,
+                alpha=0.625, beta=6.25, kind="scal_pi",
+                duration=max(60.0, 400 * base_rtt), dt=0.001,
+            )
+        )
+        w0 = (base_rtt + 0.020) * cap_pps / n_flows
+        p0 = result.tail_mean("p_prime")
+        assert 1.2 < result.tail_mean("window") * p0 < 2.8
+        assert result.tail_mean("window") == pytest.approx(w0, rel=0.1)
+
+    @given(st.sampled_from([0.0005, 0.001, 0.002]))
+    @settings(max_examples=3, deadline=None)
+    def test_integration_step_insensitivity(self, dt):
+        """The equilibrium must not depend on the integration step."""
+        result = simulate_fluid(
+            FluidScenario(
+                capacity_pps=10e6 / (1448 * 8), n_flows=5, base_rtt=0.1,
+                alpha=0.3125, beta=3.125, kind="reno_pi2",
+                duration=60.0, dt=dt,
+            )
+        )
+        assert result.tail_mean("queue_delay") == pytest.approx(0.020, rel=0.05)

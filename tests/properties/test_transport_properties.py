@@ -1,0 +1,139 @@
+"""Property-based robustness tests for the transport substrate.
+
+Hypothesis generates arbitrary loss/mark patterns and configuration
+combinations; regardless of the pattern, a finite flow must complete with
+every segment delivered exactly once to the application (the receiver's
+cumulative counter equals the flow size) and bookkeeping invariants must
+hold throughout.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.tcp.cubic import CubicSender
+from repro.tcp.dctcp import DctcpSender
+from repro.tcp.reno import RenoSender
+from tests.tcp.helpers import DROP, FORWARD, MARK, Loopback
+
+SENDERS = [RenoSender, CubicSender]
+
+
+def run_flow(sender_cls, flow_size, pattern, sack, ecn_mode="off", horizon=600.0):
+    """Drive one flow with a deterministic per-uid drop/mark pattern.
+
+    ``pattern`` maps transmission index (mod its length) to a verdict, so
+    retransmissions of the same segment eventually get through (a pattern
+    of all-DROP would never terminate and is excluded by construction).
+    """
+    sim = Simulator()
+    counter = {"n": 0}
+
+    def interceptor(pkt):
+        verdict = pattern[counter["n"] % len(pattern)]
+        counter["n"] += 1
+        if verdict == MARK and not pkt.ecn_capable:
+            return FORWARD
+        return verdict
+
+    lb = Loopback(
+        sim,
+        sender_cls=sender_cls,
+        rtt=0.05,
+        flow_size=flow_size,
+        ecn_mode=ecn_mode,
+        sack=sack,
+        interceptor=interceptor,
+    )
+    lb.sender.start(0.0)
+    sim.run(horizon)
+    return lb
+
+
+verdicts = st.sampled_from([FORWARD, FORWARD, FORWARD, DROP])
+
+
+class TestFlowAlwaysCompletes:
+    @given(
+        flow_size=st.integers(min_value=1, max_value=120),
+        pattern=st.lists(verdicts, min_size=4, max_size=12).filter(
+            lambda p: p.count(FORWARD) >= max(1, len(p) // 2)
+        ),
+        sack=st.booleans(),
+        sender_idx=st.integers(min_value=0, max_value=len(SENDERS) - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_completion_and_exact_delivery(self, flow_size, pattern, sack, sender_idx):
+        lb = run_flow(SENDERS[sender_idx], flow_size, pattern, sack)
+        assert lb.sender.completed, (flow_size, pattern, sack)
+        assert lb.receiver.rcv_next == flow_size
+        assert lb.receiver.segments_received == flow_size
+
+    @given(
+        flow_size=st.integers(min_value=1, max_value=120),
+        pattern=st.lists(
+            st.sampled_from([FORWARD, FORWARD, MARK]), min_size=3, max_size=10
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_dctcp_completes_under_any_marking(self, flow_size, pattern):
+        lb = run_flow(
+            DctcpSender, flow_size, pattern, sack=False, ecn_mode="scalable"
+        )
+        assert lb.sender.completed
+        assert lb.receiver.rcv_next == flow_size
+
+    @given(
+        flow_size=st.integers(min_value=1, max_value=100),
+        pattern=st.lists(
+            st.sampled_from([FORWARD, FORWARD, FORWARD, MARK, DROP]),
+            min_size=5,
+            max_size=10,
+        ).filter(lambda p: p.count(FORWARD) >= 3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_ecn_cubic_mixed_marks_and_losses(self, flow_size, pattern):
+        lb = run_flow(
+            CubicSender, flow_size, pattern, sack=False, ecn_mode="classic"
+        )
+        assert lb.sender.completed
+        assert lb.receiver.rcv_next == flow_size
+
+
+class TestSenderInvariants:
+    @given(
+        pattern=st.lists(verdicts, min_size=4, max_size=10).filter(
+            lambda p: p.count(FORWARD) >= max(1, len(p) // 2)
+        ),
+        sack=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_window_and_sequence_invariants(self, pattern, sack):
+        sim = Simulator()
+        counter = {"n": 0}
+
+        def interceptor(pkt):
+            verdict = pattern[counter["n"] % len(pattern)]
+            counter["n"] += 1
+            return verdict
+
+        lb = Loopback(
+            sim, sender_cls=RenoSender, rtt=0.05, flow_size=150,
+            sack=sack, interceptor=interceptor,
+        )
+        violations = []
+
+        def check():
+            s = lb.sender
+            if s.una > s.next_seq:
+                violations.append("una ahead of next_seq")
+            if s.cwnd < 1.0:
+                violations.append(f"cwnd below 1 ({s.cwnd})")
+            if s.ssthresh < s.min_cwnd:
+                violations.append("ssthresh below floor")
+
+        sim.every(0.01, check)
+        lb.sender.start(0.0)
+        sim.run(300.0)
+        assert violations == []
+        assert lb.sender.completed

@@ -1,0 +1,167 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_event_fires_at_scheduled_time(self, sim):
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run(10.0)
+        assert seen == [1.5]
+
+    def test_at_absolute_time(self, sim):
+        seen = []
+        sim.at(3.0, lambda: seen.append(sim.now))
+        sim.run(10.0)
+        assert seen == [3.0]
+
+    def test_events_fire_in_time_order(self, sim):
+        seen = []
+        sim.schedule(3.0, lambda: seen.append(3))
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(2.0, lambda: seen.append(2))
+        sim.run(10.0)
+        assert seen == [1, 2, 3]
+
+    def test_same_time_events_fire_in_schedule_order(self, sim):
+        seen = []
+        for i in range(10):
+            sim.schedule(1.0, lambda i=i: seen.append(i))
+        sim.run(2.0)
+        assert seen == list(range(10))
+
+    def test_args_are_passed(self, sim):
+        seen = []
+        sim.schedule(1.0, seen.append, "payload")
+        sim.run(2.0)
+        assert seen == ["payload"]
+
+    def test_zero_delay_runs_after_current_instant(self, sim):
+        seen = []
+
+        def first():
+            sim.schedule(0.0, lambda: seen.append("nested"))
+            seen.append("first")
+
+        sim.schedule(1.0, first)
+        sim.run(2.0)
+        assert seen == ["first", "nested"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_scheduling_into_past_rejected(self, sim):
+        sim.run(5.0)
+        with pytest.raises(ValueError):
+            sim.at(4.0, lambda: None)
+
+
+class TestRun:
+    def test_run_stops_at_until(self, sim):
+        seen = []
+        sim.schedule(5.0, lambda: seen.append("late"))
+        sim.run(2.0)
+        assert seen == []
+        assert sim.now == 2.0
+
+    def test_run_is_composable(self, sim):
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(3.0, lambda: seen.append(3))
+        sim.run(2.0)
+        sim.run(4.0)
+        assert seen == [1, 3]
+
+    def test_run_backwards_rejected(self, sim):
+        sim.run(5.0)
+        with pytest.raises(ValueError):
+            sim.run(1.0)
+
+    def test_events_scheduled_during_run_fire(self, sim):
+        seen = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: seen.append(sim.now)))
+        sim.run(5.0)
+        assert seen == [2.0]
+
+    def test_events_processed_counter(self, sim):
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run(10.0)
+        assert sim.events_processed == 5
+
+    def test_step_processes_one_event(self, sim):
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(2.0, lambda: seen.append(2))
+        assert sim.step() is True
+        assert seen == [1]
+
+    def test_step_on_empty_heap_returns_false(self, sim):
+        assert sim.step() is False
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        seen = []
+        ev = sim.schedule(1.0, lambda: seen.append(1))
+        ev.cancel()
+        sim.run(2.0)
+        assert seen == []
+
+    def test_cancel_is_idempotent(self, sim):
+        ev = sim.schedule(1.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        sim.run(2.0)
+
+    def test_cancel_after_firing_is_harmless(self, sim):
+        ev = sim.schedule(1.0, lambda: None)
+        sim.run(2.0)
+        ev.cancel()
+
+
+class TestPeriodicTimer:
+    def test_fires_every_interval(self, sim):
+        seen = []
+        sim.every(1.0, lambda: seen.append(sim.now))
+        sim.run(3.5)
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_start_delay_override(self, sim):
+        seen = []
+        sim.every(1.0, lambda: seen.append(sim.now), start_delay=0.25)
+        sim.run(2.5)
+        assert seen == [0.25, 1.25, 2.25]
+
+    def test_stop_halts_firing(self, sim):
+        seen = []
+        timer = sim.every(1.0, lambda: seen.append(sim.now))
+        sim.schedule(2.5, timer.stop)
+        sim.run(10.0)
+        assert seen == [1.0, 2.0]
+        assert timer.stopped
+
+    def test_stop_from_within_callback(self, sim):
+        seen = []
+        timer = sim.every(1.0, lambda: (seen.append(sim.now), timer.stop()))
+        sim.run(10.0)
+        assert seen == [1.0]
+
+    def test_fire_count(self, sim):
+        timer = sim.every(0.5, lambda: None)
+        sim.run(2.4)
+        assert timer.fires == 4
+
+    def test_non_positive_interval_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.every(0.0, lambda: None)

@@ -1,0 +1,99 @@
+"""Loopback wiring for TCP unit tests.
+
+Connects a sender and receiver through simple pipes with an optional
+per-packet interceptor, so tests can drop or CE-mark specific segments
+deterministically and watch the sender's reaction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.packet import Packet
+from repro.net.pipe import Pipe
+from repro.sim.engine import Simulator
+from repro.tcp.base import TcpSender
+from repro.tcp.receiver import TcpReceiver
+
+#: Interceptor verdicts.
+FORWARD, DROP, MARK = "forward", "drop", "mark"
+
+
+class Loopback:
+    """Sender → (interceptor) → fwd pipe → receiver → rev pipe → sender."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sender_cls=None,
+        rtt: float = 0.1,
+        ecn_mode: str = "off",
+        flow_size: Optional[int] = None,
+        delayed_acks: bool = False,
+        interceptor: Optional[Callable[[Packet], str]] = None,
+        sack: bool = False,
+        **sender_kwargs,
+    ):
+        from repro.tcp.reno import RenoSender
+
+        self.sim = sim
+        self.interceptor = interceptor
+        self.forwarded = 0
+        self.dropped = 0
+
+        self.rev = Pipe(sim, rtt / 2)
+        self.sender = (sender_cls or RenoSender)(
+            sim,
+            flow_id=0,
+            transmit=self._intercept,
+            ecn_mode=ecn_mode,
+            flow_size=flow_size,
+            sack=sack,
+            **sender_kwargs,
+        )
+        self.rev.sink = self.sender
+        self.receiver = TcpReceiver(
+            sim,
+            flow_id=0,
+            ack_out=self.rev.deliver,
+            ecn_mode=ecn_mode,
+            delayed_acks=delayed_acks,
+            sack=sack,
+        )
+        self.fwd = Pipe(sim, rtt / 2, sink=self.receiver)
+
+    def _intercept(self, pkt: Packet) -> None:
+        verdict = FORWARD if self.interceptor is None else self.interceptor(pkt)
+        if verdict == DROP:
+            self.dropped += 1
+            return
+        if verdict == MARK:
+            pkt.mark_ce()
+        self.forwarded += 1
+        self.fwd.deliver(pkt)
+
+
+def drop_seqs(*seqs: int) -> Callable[[Packet], str]:
+    """Interceptor dropping the *first* transmission of the given seqs."""
+    pending = set(seqs)
+
+    def fn(pkt: Packet) -> str:
+        if not pkt.is_retransmit and pkt.seq in pending:
+            pending.remove(pkt.seq)
+            return DROP
+        return FORWARD
+
+    return fn
+
+
+def mark_seqs(*seqs: int) -> Callable[[Packet], str]:
+    """Interceptor CE-marking the given data seqs (first transmission)."""
+    pending = set(seqs)
+
+    def fn(pkt: Packet) -> str:
+        if not pkt.is_retransmit and pkt.seq in pending:
+            pending.remove(pkt.seq)
+            return MARK
+        return FORWARD
+
+    return fn

@@ -1,0 +1,138 @@
+"""Unit tests for the TCP receiver: ACK generation and ECN echo."""
+
+import pytest
+
+from repro.net.packet import ECN, Packet
+from repro.tcp.receiver import DELACK_TIMEOUT, TcpReceiver
+
+
+def data(seq, ecn=ECN.NOT_ECT, cwr=False, ce=False):
+    pkt = Packet(flow_id=0, seq=seq, ecn=ecn, cwr=cwr)
+    if ce:
+        pkt.mark_ce()
+    return pkt
+
+
+@pytest.fixture
+def acks():
+    return []
+
+
+def make_receiver(sim, acks, ecn_mode="off", delayed_acks=False):
+    return TcpReceiver(
+        sim, flow_id=0, ack_out=acks.append, ecn_mode=ecn_mode,
+        delayed_acks=delayed_acks,
+    )
+
+
+class TestCumulativeAcks:
+    def test_in_order_advances(self, sim, acks):
+        rcv = make_receiver(sim, acks)
+        for i in range(3):
+            rcv.deliver(data(i))
+        assert [a.ack for a in acks] == [1, 2, 3]
+
+    def test_out_of_order_generates_dupacks(self, sim, acks):
+        rcv = make_receiver(sim, acks)
+        rcv.deliver(data(0))
+        rcv.deliver(data(2))  # hole at 1
+        rcv.deliver(data(3))
+        assert [a.ack for a in acks] == [1, 1, 1]
+
+    def test_hole_fill_jumps_cumulatively(self, sim, acks):
+        rcv = make_receiver(sim, acks)
+        rcv.deliver(data(0))
+        rcv.deliver(data(2))
+        rcv.deliver(data(1))
+        assert acks[-1].ack == 3
+
+    def test_duplicate_segment_reacked(self, sim, acks):
+        rcv = make_receiver(sim, acks)
+        rcv.deliver(data(0))
+        rcv.deliver(data(0))
+        assert [a.ack for a in acks] == [1, 1]
+        assert rcv.duplicates == 1
+
+    def test_acks_are_ack_packets(self, sim, acks):
+        rcv = make_receiver(sim, acks)
+        rcv.deliver(data(0))
+        assert acks[0].is_ack
+
+    def test_ignores_delivered_acks(self, sim, acks):
+        rcv = make_receiver(sim, acks)
+        rcv.deliver(Packet(flow_id=0, ack=5, is_ack=True))
+        assert acks == []
+
+    def test_timestamp_echo(self, sim, acks):
+        rcv = make_receiver(sim, acks)
+        pkt = data(0)
+        pkt.send_time = 1.25
+        rcv.deliver(pkt)
+        assert acks[0].send_time == 1.25
+
+
+class TestDelayedAcks:
+    def test_every_second_segment_acked(self, sim, acks):
+        rcv = make_receiver(sim, acks, delayed_acks=True)
+        rcv.deliver(data(0))
+        assert acks == []  # held back
+        rcv.deliver(data(1))
+        assert [a.ack for a in acks] == [2]
+
+    def test_delack_timer_flushes_single_segment(self, sim, acks):
+        rcv = make_receiver(sim, acks, delayed_acks=True)
+        rcv.deliver(data(0))
+        sim.run(DELACK_TIMEOUT + 0.001)
+        assert [a.ack for a in acks] == [1]
+
+    def test_out_of_order_acks_immediately(self, sim, acks):
+        rcv = make_receiver(sim, acks, delayed_acks=True)
+        rcv.deliver(data(0))
+        rcv.deliver(data(2))
+        # The OOO arrival must flush immediately (duplicate ACK).
+        assert [a.ack for a in acks][-1] == 1
+
+
+class TestClassicEcho:
+    def test_ce_latches_ece(self, sim, acks):
+        rcv = make_receiver(sim, acks, ecn_mode="classic")
+        rcv.deliver(data(0, ecn=ECN.ECT0, ce=True))
+        rcv.deliver(data(1, ecn=ECN.ECT0))
+        assert acks[0].ece and acks[1].ece
+
+    def test_cwr_clears_latch(self, sim, acks):
+        rcv = make_receiver(sim, acks, ecn_mode="classic")
+        rcv.deliver(data(0, ecn=ECN.ECT0, ce=True))
+        rcv.deliver(data(1, ecn=ECN.ECT0, cwr=True))
+        rcv.deliver(data(2, ecn=ECN.ECT0))
+        assert acks[0].ece
+        assert not acks[1].ece
+        assert not acks[2].ece
+
+
+class TestDctcpEcho:
+    def test_accurate_per_packet_echo(self, sim, acks):
+        rcv = make_receiver(sim, acks, ecn_mode="scalable")
+        rcv.deliver(data(0, ecn=ECN.ECT1, ce=True))
+        rcv.deliver(data(1, ecn=ECN.ECT1))
+        rcv.deliver(data(2, ecn=ECN.ECT1, ce=True))
+        assert [a.ece for a in acks] == [True, False, True]
+
+    def test_ce_state_change_flushes_pending_delack(self, sim, acks):
+        rcv = make_receiver(sim, acks, ecn_mode="scalable", delayed_acks=True)
+        rcv.deliver(data(0, ecn=ECN.ECT1))          # pending, unmarked run
+        rcv.deliver(data(1, ecn=ECN.ECT1, ce=True)) # state change
+        # First ACK covers the unmarked run with ece=False.
+        assert acks[0].ece is False
+        assert acks[0].ack == 1
+
+    def test_off_mode_never_sets_ece(self, sim, acks):
+        rcv = make_receiver(sim, acks, ecn_mode="off")
+        rcv.deliver(data(0))
+        assert acks[0].ece is False
+
+    def test_ce_counter(self, sim, acks):
+        rcv = make_receiver(sim, acks, ecn_mode="scalable")
+        rcv.deliver(data(0, ecn=ECN.ECT1, ce=True))
+        rcv.deliver(data(1, ecn=ECN.ECT1, ce=True))
+        assert rcv.ce_received == 2

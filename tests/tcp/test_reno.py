@@ -1,0 +1,32 @@
+"""Unit tests for Reno specifics (most behaviour is covered in
+test_base_sender; these pin the AIMD constants)."""
+
+import pytest
+
+from repro.tcp.reno import RenoSender
+from tests.tcp.helpers import Loopback
+
+
+class TestRenoConstants:
+    def test_loss_beta_half(self, sim):
+        s = RenoSender(sim, 0, transmit=lambda p: None)
+        assert s.reduction_factor("loss") == 0.5
+
+    def test_ecn_beta_half(self, sim):
+        s = RenoSender(sim, 0, transmit=lambda p: None)
+        assert s.reduction_factor("ecn") == 0.5
+
+    def test_ca_adds_one_per_rtt(self, sim):
+        s = RenoSender(sim, 0, transmit=lambda p: None)
+        s.cwnd = 10.0
+        s.ssthresh = 10.0
+        for _ in range(10):  # ten ACKs of one segment = one window's worth
+            s.ca_increase(1)
+        assert s.cwnd == pytest.approx(11.0, rel=0.01)
+
+    def test_long_run_reaches_bdp(self, sim):
+        lb = Loopback(sim, sender_cls=RenoSender, rtt=0.05, flow_size=2000)
+        lb.sender.start(0.0)
+        sim.run(30.0)
+        assert lb.sender.completed
+        assert lb.sender.timeouts == 0

@@ -1,0 +1,112 @@
+"""Tests for the Relentless and Scalable-TCP senders (paper §5's list)."""
+
+import pytest
+
+from repro.aqm.fixed import FixedProbabilityAqm
+from repro.harness.experiment import Experiment, FlowGroup, run_experiment
+from repro.tcp.scalable import STCP_A, STCP_B, RelentlessSender, ScalableTcpSender
+
+MSS = 1448
+RTT = 0.04
+
+
+def measure_window(cc, p, duration=50.0, seed=5):
+    exp = Experiment(
+        capacity_bps=200e6, duration=duration, warmup=15.0,
+        aqm_factory=lambda rng: FixedProbabilityAqm(p, rng),
+        flows=[FlowGroup(cc=cc, count=1, rtt=RTT, label="x")],
+        seed=seed, record_sojourns=False,
+    )
+    return sum(run_experiment(exp).goodputs("x")) * RTT / (MSS * 8)
+
+
+class TestConfiguration:
+    def test_relentless_requires_scalable_mode(self, sim):
+        with pytest.raises(ValueError):
+            RelentlessSender(sim, 0, transmit=lambda p: None, ecn_mode="off")
+
+    def test_stcp_requires_scalable_mode(self, sim):
+        with pytest.raises(ValueError):
+            ScalableTcpSender(sim, 0, transmit=lambda p: None, ecn_mode="classic")
+
+    def test_stcp_parameter_validation(self, sim):
+        with pytest.raises(ValueError):
+            ScalableTcpSender(sim, 0, transmit=lambda p: None, a=0)
+        with pytest.raises(ValueError):
+            ScalableTcpSender(sim, 0, transmit=lambda p: None, b=1.5)
+
+
+class TestUnitResponses:
+    def test_relentless_subtracts_one_per_mark(self, sim):
+        s = RelentlessSender(sim, 0, transmit=lambda p: None)
+        s.cwnd = 50.0
+        s.on_round_end(acked=20, marked=3)
+        assert s.cwnd == pytest.approx(47.0)
+        assert s.ssthresh == pytest.approx(47.0)
+
+    def test_relentless_floor(self, sim):
+        s = RelentlessSender(sim, 0, transmit=lambda p: None)
+        s.cwnd = 3.0
+        s.on_round_end(acked=3, marked=10)
+        assert s.cwnd == s.min_cwnd
+
+    def test_stcp_mimd_growth(self, sim):
+        s = ScalableTcpSender(sim, 0, transmit=lambda p: None)
+        s.cwnd = 100.0
+        s.ssthresh = 100.0
+        s.ca_increase(100)  # one full window of ACKs
+        assert s.cwnd == pytest.approx(100.0 * (1 + STCP_A))
+
+    def test_stcp_cut_per_mark(self, sim):
+        s = ScalableTcpSender(sim, 0, transmit=lambda p: None)
+        s.cwnd = 100.0
+        s.on_round_end(acked=50, marked=2)
+        assert s.cwnd == pytest.approx(100.0 * (1 - STCP_B) ** 2)
+
+    def test_unmarked_round_no_cut(self, sim):
+        s = ScalableTcpSender(sim, 0, transmit=lambda p: None)
+        s.cwnd = 100.0
+        s.on_round_end(acked=50, marked=0)
+        assert s.cwnd == 100.0
+
+
+class TestWindowLaws:
+    """Both are Scalable: W ∝ 1/p (B = 1)."""
+
+    def test_relentless_w_equals_one_over_p(self):
+        # Balance: +1 per RTT vs p·W marks each costing 1 → W = 1/p.
+        for p in (0.02, 0.05):
+            w = measure_window("relentless", p)
+            assert w == pytest.approx(1.0 / p, rel=0.25), p
+
+    def test_stcp_w_equals_a_over_bp(self):
+        # Balance: a·W growth vs b·W per mark × p·W marks → W = (a/b)/p.
+        for p in (0.002, 0.004):
+            w = measure_window("scalable-tcp", p)
+            assert w == pytest.approx((STCP_A / STCP_B) / p, rel=0.3), p
+
+    def test_linear_exponents(self):
+        w1 = measure_window("relentless", 0.02)
+        w2 = measure_window("relentless", 0.04)
+        assert w1 / w2 == pytest.approx(2.0, rel=0.25)
+
+
+class TestCoexistence:
+    def test_relentless_coexists_with_cubic_under_coupled(self):
+        """Relentless (W = 1/p) is half as aggressive as DCTCP (2/p), so
+        under k = 2 coupling it gets roughly half of Cubic's share —
+        still bounded coexistence, no starvation either way."""
+        from repro.harness import MBPS, coupled_factory
+
+        exp = Experiment(
+            capacity_bps=40 * MBPS, duration=25.0, warmup=10.0,
+            aqm_factory=coupled_factory(),
+            flows=[
+                FlowGroup(cc="relentless", count=1, rtt=0.010, label="rel"),
+                FlowGroup(cc="cubic", count=1, rtt=0.010, label="cubic"),
+            ],
+        )
+        r = run_experiment(exp)
+        ratio = r.balance("cubic", "rel")
+        assert 0.5 < ratio < 8.0
+        assert r.mean_utilization() > 0.90

@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestList:
+    def test_lists_scenarios_and_aqms(self):
+        code, text = run_cli("list")
+        assert code == 0
+        assert "light" in text and "pi2" in text and "coupled" in text
+
+
+class TestRun:
+    def test_light_scenario_summary(self):
+        code, text = run_cli("run", "--scenario", "light", "--aqm", "pi2",
+                             "--duration", "10")
+        assert code == 0
+        assert "queue delay mean" in text
+        assert "utilization" in text
+
+    def test_taildrop_aqm(self):
+        code, text = run_cli("run", "--scenario", "light", "--aqm", "taildrop",
+                             "--duration", "8")
+        assert code == 0
+        assert "tail drops" in text
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("run", "--scenario", "bogus")
+
+    def test_dynamic_scenario_uses_stage(self):
+        code, text = run_cli("run", "--scenario", "capacity", "--aqm", "pi2",
+                             "--duration", "5")
+        assert code == 0
+        assert "duration=15s" in text  # 3 stages of 5 s
+
+    def test_json_export(self, tmp_path):
+        import json
+
+        path = tmp_path / "out.json"
+        code, text = run_cli("run", "--scenario", "light", "--aqm", "pi2",
+                             "--duration", "8", "--json", str(path))
+        assert code == 0
+        assert f"wrote {path}" in text
+        assert json.loads(path.read_text())["config"]["capacity_bps"] == 10e6
+
+
+class TestCoexist:
+    def test_reports_ratio(self):
+        code, text = run_cli("coexist", "--aqm", "coupled", "--link", "10",
+                             "--rtt", "10", "--duration", "10")
+        assert code == 0
+        assert "cubic/dctcp ratio" in text
+        assert "dctcp [Mb/s]" in text
+
+
+class TestBode:
+    def test_reports_margins(self):
+        code, text = run_cli("bode", "--kind", "reno_pi2", "--p", "0.01")
+        assert code == 0
+        assert "gain margin" in text
+        assert "True" in text  # stable at this operating point
+
+    def test_fixed_gain_low_p_unstable(self):
+        code, text = run_cli("bode", "--kind", "reno_pi", "--p", "0.0001")
+        assert code == 0
+        assert "False" in text
+
+    def test_custom_gains(self):
+        code, text = run_cli("bode", "--kind", "reno_pi2", "--p", "0.01",
+                             "--alpha", "0.125", "--beta", "1.25")
+        assert code == 0
+        assert "alpha=0.125" in text
+
+
+class TestFigure:
+    def test_analytic_figure_renders(self):
+        code, text = run_cli("figure", "fig05")
+        assert code == 0
+        assert "sqrt(2p)" in text
+
+    def test_csv_export(self, tmp_path):
+        path = tmp_path / "fig04.csv"
+        code, text = run_cli("figure", "fig04", "--csv", str(path))
+        assert code == 0
+        assert path.exists()
+        header = path.read_text().splitlines()[0]
+        assert header.startswith("p,")
+
+    def test_unknown_figure_errors(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            run_cli("figure", "fig99")
+
+    def test_listed_in_list(self):
+        code, text = run_cli("list")
+        assert "fig12" in text
+
+
+class TestFluid:
+    def test_reports_steady_state(self):
+        code, text = run_cli("fluid", "--flows", "5", "--duration", "30")
+        assert code == 0
+        assert "steady queue delay" in text
+
+    def test_scalable_kind(self):
+        code, text = run_cli("fluid", "--kind", "scal_pi", "--duration", "30")
+        assert code == 0
+        assert "kind=scal_pi" in text

@@ -1,0 +1,77 @@
+"""Table 1 — default parameters for the different AQMs.
+
+The paper's Table 1:
+
+    All:               Buffer: 40000 pkt, ECN
+    PI/PIE+Cubic/Reno: Target delay: 20 ms, Burst: 100 ms, α: 2/16, β: 20/16
+    PI/PI2+DCTCP:      Target delay: 20 ms, α: 10/16, β: 100/16
+
+plus the Figure 6/7 captions: αPI2 = 0.3125, βPI2 = 3.125 (2.5× PIE),
+T = 32 ms.
+"""
+
+import random
+
+import pytest
+
+from repro.aqm.pi import PiAqm
+from repro.aqm.pie import PieAqm
+from repro.core.coupled import CoupledPi2Aqm
+from repro.core.pi2 import Pi2Aqm
+from repro.harness.experiment import Experiment, FlowGroup
+from repro.harness.factories import pi2_factory
+
+
+class TestTable1:
+    def test_buffer_default_40000_packets(self):
+        exp = Experiment(
+            capacity_bps=1e6, duration=1.0, warmup=0.0,
+            aqm_factory=pi2_factory(), flows=[FlowGroup(cc="reno", count=1, rtt=0.01)],
+        )
+        assert exp.buffer_packets == 40_000
+
+    def test_pie_gains_2_16_and_20_16(self):
+        pie = PieAqm(rng=random.Random(1))
+        assert pie.controller.alpha == pytest.approx(2 / 16)
+        assert pie.controller.beta == pytest.approx(20 / 16)
+
+    def test_pie_target_20ms_burst_100ms(self):
+        pie = PieAqm(rng=random.Random(1))
+        assert pie.controller.target == pytest.approx(0.020)
+        assert pie.max_burst == pytest.approx(0.100)
+
+    def test_pi_gains_match_pie_base(self):
+        pi = PiAqm(rng=random.Random(1))
+        assert pi.controller.alpha == pytest.approx(0.125)
+        assert pi.controller.beta == pytest.approx(1.25)
+
+    def test_pi2_gains_2_5x(self):
+        pi2 = Pi2Aqm(rng=random.Random(1))
+        assert pi2.controller.alpha == pytest.approx(0.3125)
+        assert pi2.controller.beta == pytest.approx(3.125)
+
+    def test_coupled_gains_10_16_and_100_16(self):
+        c = CoupledPi2Aqm(rng=random.Random(1))
+        assert c.controller.alpha == pytest.approx(10 / 16)
+        assert c.controller.beta == pytest.approx(100 / 16)
+
+    def test_update_interval_32ms_everywhere(self):
+        for aqm in (
+            PieAqm(rng=random.Random(1)),
+            PiAqm(rng=random.Random(1)),
+            Pi2Aqm(rng=random.Random(1)),
+            CoupledPi2Aqm(rng=random.Random(1)),
+        ):
+            assert aqm.update_interval == pytest.approx(0.032)
+
+    def test_targets_all_20ms(self):
+        for aqm in (
+            PieAqm(rng=random.Random(1)),
+            PiAqm(rng=random.Random(1)),
+            Pi2Aqm(rng=random.Random(1)),
+            CoupledPi2Aqm(rng=random.Random(1)),
+        ):
+            assert aqm.controller.target == pytest.approx(0.020)
+
+    def test_coupling_factor_k2(self):
+        assert CoupledPi2Aqm(rng=random.Random(1)).k == 2.0
