@@ -12,7 +12,6 @@ marker types and checks it lands near 1 (probabilistic) vs near 2 (step).
 
 import math
 
-import numpy as np
 
 from benchmarks.conftest import emit, run_once
 from repro.aqm.fixed import FixedProbabilityAqm

@@ -11,10 +11,9 @@ mode must produce statistically indistinguishable queue delay,
 probability, and goodput.
 """
 
-import numpy as np
 
 from benchmarks.conftest import emit, run_once
-from repro.harness import MBPS, pi2_factory, run_experiment
+from repro.harness import MBPS, pi2_factory
 from repro.harness.experiment import Experiment, FlowGroup
 from repro.harness.repeat import repeat_experiment
 from repro.harness.sweep import format_table

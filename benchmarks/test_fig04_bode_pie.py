@@ -7,7 +7,6 @@ diagonal; the stepped auto-tune keeps margins above zero at low p while
 keeping them low (responsive) at high p.
 """
 
-import numpy as np
 
 from benchmarks.conftest import emit, run_once
 from repro.analysis.bode import margins_reno_pi, margins_reno_pie

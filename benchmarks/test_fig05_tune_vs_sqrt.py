@@ -8,7 +8,7 @@ the square-root linearization that PI2 performs exactly.
 import math
 
 from benchmarks.conftest import emit, run_once
-from repro.aqm.tune_table import sqrt2p, tune, tune_table_rows
+from repro.aqm.tune_table import tune_table_rows
 from repro.harness.sweep import format_table
 
 

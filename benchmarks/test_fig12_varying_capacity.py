@@ -7,7 +7,6 @@ drains the transient faster at the capacity drop (peak 250 ms vs PIE's
 rises again while PIE does.  Stages shortened 50 s → 15 s.
 """
 
-import numpy as np
 
 from benchmarks.conftest import emit, run_once
 from repro.harness import pi2_factory, pie_factory, run_experiment, varying_capacity

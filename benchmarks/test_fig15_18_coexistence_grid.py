@@ -25,11 +25,10 @@ limiting bug corrupting exactly that corner of its grid.
 import math
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import emit, run_once
 from repro.harness import coupled_factory, pie_factory
-from repro.harness.sweep import PAPER_LINK_MBPS, PAPER_RTTS_MS, format_table, run_coexistence_grid
+from repro.harness.sweep import format_table, run_coexistence_grid
 from repro.metrics.stats import geometric_mean
 
 #: Measurement duration per RTT (convergence) and cap per link rate (cost).

@@ -8,7 +8,6 @@ through the bottleneck alongside nothing else (the workload itself is the
 load) and compares mean/P95 FCT across the three AQMs.
 """
 
-import numpy as np
 
 from benchmarks.conftest import emit, run_once
 from repro.harness import MBPS, bare_pie_factory, pi2_factory, pie_factory

@@ -22,7 +22,6 @@ from repro.harness import MBPS, pi2_factory, pie_factory
 from repro.harness.topology import Dumbbell
 from repro.harness.sweep import format_table
 from repro.net.packet import ECN
-from repro.net.queue import AQMQueue
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
 

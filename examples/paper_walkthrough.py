@@ -19,7 +19,6 @@ Each step prints the numbers it just computed.  Runtime ≈ 30 s.
 Run:  python examples/paper_walkthrough.py
 """
 
-import math
 
 from repro.analysis import steady_state as ss
 from repro.analysis.bode import margins_reno_pi, margins_reno_pi2, max_stable_gain

@@ -29,7 +29,27 @@ Quickstart::
 """
 
 from repro.core import CoupledPi2Aqm, Pi2Aqm
+from repro.errors import (
+    CallbackError,
+    ConfigError,
+    ControllerDivergence,
+    InvariantViolation,
+    ReproError,
+    SimulationError,
+    WatchdogExceeded,
+)
 
 __version__ = "1.0.0"
 
-__all__ = ["Pi2Aqm", "CoupledPi2Aqm", "__version__"]
+__all__ = [
+    "Pi2Aqm",
+    "CoupledPi2Aqm",
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "CallbackError",
+    "WatchdogExceeded",
+    "InvariantViolation",
+    "ControllerDivergence",
+    "__version__",
+]

@@ -3,6 +3,11 @@
 import sys
 
 from repro.cli import main
+from repro.errors import ConfigError
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        sys.exit(2)

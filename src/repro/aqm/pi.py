@@ -24,10 +24,12 @@ Two roles in the paper:
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Optional
 
 from repro.aqm.base import AQM, Decision
+from repro.errors import ControllerDivergence
 from repro.net.packet import Packet
 
 __all__ = ["PIController", "PiAqm"]
@@ -73,12 +75,36 @@ class PIController:
 
         ``gain_scale`` multiplies Δp; PIE's auto-tune passes its stepped
         table value here, everyone else passes 1.
+
+        A non-finite input or output raises
+        :class:`~repro.errors.ControllerDivergence` instead of silently
+        clamping garbage into the drop probability: a NaN delay estimate
+        (e.g. a broken departure-rate measurement) would otherwise poison
+        ``p`` and every later update while the run appears to succeed.
         """
+        if not math.isfinite(delay):
+            raise ControllerDivergence(
+                f"queue-delay input to PI update is not finite: {delay!r}",
+                component="PIController",
+                context={"p": self.p, "prev_delay": self.prev_delay},
+            )
         delta = (
             self.alpha * (delay - self.target)
             + self.beta * (delay - self.prev_delay)
         ) * gain_scale
-        self.p = min(max(self.p + delta, 0.0), self.p_max)
+        p_new = self.p + delta
+        if not math.isfinite(p_new):
+            raise ControllerDivergence(
+                f"PI update produced a non-finite probability: {p_new!r}",
+                component="PIController",
+                context={
+                    "p": self.p,
+                    "delay": delay,
+                    "delta": delta,
+                    "gain_scale": gain_scale,
+                },
+            )
+        self.p = min(max(p_new, 0.0), self.p_max)
         self.prev_delay = delay
         return self.p
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.analysis.bode import (
@@ -49,6 +50,7 @@ from repro.harness import (
     varying_intensity,
 )
 from repro.harness.sweep import format_table
+from repro.net.faults import FAULT_SPEC_HELP, parse_fault_spec
 
 __all__ = ["main"]
 
@@ -92,6 +94,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--json", metavar="PATH",
                      help="also write the result summary as JSON")
+    run.add_argument("--validate", action="store_true",
+                     help="run with periodic invariant checking "
+                          "(packet conservation, p in [0,1], clock)")
+    run.add_argument("--fault", metavar="SPEC", action="append", default=[],
+                     help="inject a fault; repeatable. " + FAULT_SPEC_HELP)
 
     co = sub.add_parser("coexist", help="DCTCP vs Cubic at one grid point")
     co.add_argument("--aqm", choices=sorted(FACTORIES), default="coupled")
@@ -154,6 +161,9 @@ def _cmd_run(args, out) -> int:
         exp = scenario(factory, stage=args.duration, seed=args.seed)
     else:
         exp = scenario(factory, duration=args.duration, seed=args.seed)
+    if args.validate or args.fault:
+        faults = tuple(parse_fault_spec(spec) for spec in args.fault)
+        exp = replace(exp, validate=args.validate, faults=faults)
     result = run_experiment(exp)
     delay = result.sojourn_summary(percentiles=(99,))
     rows = [
@@ -164,6 +174,10 @@ def _cmd_run(args, out) -> int:
         ("tail drops", result.queue_stats.tail_dropped),
         ("CE marks", result.queue_stats.ce_marked),
     ]
+    if args.validate:
+        rows.append(("invariant checks", result.invariant_checks))
+    if args.fault:
+        rows.append(("fault drops", result.queue_stats.fault_dropped))
     print(
         format_table(
             ["metric", "value"], rows,

@@ -16,7 +16,17 @@ from repro.harness.factories import (
     pie_factory,
     taildrop_factory,
 )
-from repro.harness.repeat import MetricEstimate, compare_metric, repeat_experiment
+from repro.harness.repeat import (
+    MetricEstimate,
+    RepeatOutcome,
+    compare_metric,
+    repeat_experiment,
+)
+from repro.harness.resilience import (
+    RunFailure,
+    format_failure_report,
+    run_with_retries,
+)
 from repro.harness.scenarios import (
     MBPS,
     PAPER_EXPECTATIONS,
@@ -33,6 +43,7 @@ from repro.harness.sweep import (
     PAPER_LINK_MBPS,
     PAPER_RTTS_MS,
     GridCell,
+    GridOutcome,
     format_table,
     run_coexistence_grid,
     run_mix_sweep,
@@ -48,6 +59,10 @@ __all__ = [
     "repeat_experiment",
     "compare_metric",
     "MetricEstimate",
+    "RepeatOutcome",
+    "RunFailure",
+    "run_with_retries",
+    "format_failure_report",
     "Dumbbell",
     "MBPS",
     "PAPER_EXPECTATIONS",
@@ -59,6 +74,7 @@ __all__ = [
     "coexistence_pair",
     "coexistence_mix",
     "GridCell",
+    "GridOutcome",
     "run_coexistence_grid",
     "run_mix_sweep",
     "format_table",

@@ -25,8 +25,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.aqm.base import AQM
+from repro.errors import ConfigError
 from repro.harness.topology import Dumbbell
 from repro.metrics.stats import percentile_summary, rate_balance_ratio
+from repro.net.faults import Fault
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
 
@@ -82,16 +84,85 @@ class Experiment:
     record_sojourns: bool = True
     #: Optional (time, capacity_bps) schedule for mid-run rate changes.
     capacity_schedule: Sequence[Tuple[float, float]] = field(default_factory=tuple)
+    #: Declarative fault schedule (see :mod:`repro.net.faults`).
+    faults: Sequence[Fault] = field(default_factory=tuple)
+    #: Run the periodic invariant checker alongside the simulation.
+    validate: bool = False
+    #: Watchdog budgets for the run (None = unlimited).
+    max_events: Optional[int] = None
+    max_wall_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.capacity_bps <= 0:
-            raise ValueError(f"capacity must be positive (got {self.capacity_bps})")
+            raise ConfigError(f"capacity must be positive (got {self.capacity_bps})")
         if self.duration <= 0:
-            raise ValueError(f"duration must be positive (got {self.duration})")
+            raise ConfigError(f"duration must be positive (got {self.duration})")
         if not 0 <= self.warmup < self.duration:
-            raise ValueError(
+            raise ConfigError(
                 f"warmup must be in [0, duration) (got {self.warmup} vs {self.duration})"
             )
+        if self.sample_period <= 0:
+            raise ConfigError(
+                f"sample_period must be positive (got {self.sample_period})"
+            )
+        if self.buffer_packets <= 0:
+            raise ConfigError(
+                f"buffer_packets must be positive (got {self.buffer_packets})"
+            )
+        if self.max_events is not None and self.max_events <= 0:
+            raise ConfigError(f"max_events must be positive (got {self.max_events})")
+        if self.max_wall_seconds is not None and self.max_wall_seconds <= 0:
+            raise ConfigError(
+                f"max_wall_seconds must be positive (got {self.max_wall_seconds})"
+            )
+        self._validate_capacity_schedule()
+        self._validate_faults()
+
+    def _validate_capacity_schedule(self) -> None:
+        """Reject schedules that would otherwise fail deep inside ``sim.at``
+        (or worse, silently never fire) with no configuration context."""
+        previous = None
+        for index, entry in enumerate(self.capacity_schedule):
+            try:
+                when, rate = entry
+            except (TypeError, ValueError):
+                raise ConfigError(
+                    f"capacity_schedule[{index}] must be a (time, rate_bps) "
+                    f"pair (got {entry!r})"
+                ) from None
+            if when < 0:
+                raise ConfigError(
+                    f"capacity_schedule[{index}] time cannot be negative "
+                    f"(got {when})"
+                )
+            if when >= self.duration:
+                raise ConfigError(
+                    f"capacity_schedule[{index}] time {when} is outside "
+                    f"[0, duration={self.duration})"
+                )
+            if rate <= 0:
+                raise ConfigError(
+                    f"capacity_schedule[{index}] rate must be positive "
+                    f"(got {rate})"
+                )
+            if previous is not None and when < previous:
+                raise ConfigError(
+                    f"capacity_schedule must be sorted by time "
+                    f"({when} after {previous})"
+                )
+            previous = when
+
+    def _validate_faults(self) -> None:
+        for index, fault in enumerate(self.faults):
+            if not isinstance(fault, Fault):
+                raise ConfigError(
+                    f"faults[{index}] must be a Fault (got {type(fault).__name__})"
+                )
+            if fault.start >= self.duration:
+                raise ConfigError(
+                    f"faults[{index}] starts at {fault.start}, outside "
+                    f"[0, duration={self.duration})"
+                )
 
 
 class ExperimentResult:
@@ -165,9 +236,28 @@ class ExperimentResult:
     def aqm(self):
         return self.bed.aqm
 
+    # -- robustness read-outs -------------------------------------------------
+    @property
+    def fault_timeline(self) -> List[Tuple[float, str]]:
+        """(virtual time, event) pairs of every injected-fault transition."""
+        injector = self.bed.fault_injector
+        return list(injector.timeline) if injector is not None else []
+
+    @property
+    def invariant_checks(self) -> int:
+        """Number of periodic invariant passes that ran (0 = validation off)."""
+        checker = self.bed.invariant_checker
+        return checker.checks_run if checker is not None else 0
+
 
 def run_experiment(experiment: Experiment) -> ExperimentResult:
-    """Build the dumbbell, run to ``duration``, and collect results."""
+    """Build the dumbbell, run to ``duration``, and collect results.
+
+    Fault schedules, the invariant checker and the run watchdog are all
+    wired here from the experiment's declarative fields; a failing run
+    raises a structured :class:`~repro.errors.SimulationError` carrying
+    virtual-time and component context.
+    """
     sim = Simulator()
     streams = RandomStreams(experiment.seed)
     aqm = experiment.aqm_factory(streams.stream("aqm"))
@@ -198,7 +288,18 @@ def run_experiment(experiment: Experiment) -> ExperimentResult:
             )
     for when, rate in experiment.capacity_schedule:
         sim.at(when, bed.set_capacity, rate)
+    if experiment.faults:
+        bed.install_faults(experiment.faults, streams.stream("faults"))
+    if experiment.validate:
+        bed.enable_validation()
+    if experiment.max_events is not None or experiment.max_wall_seconds is not None:
+        sim.set_watchdog(
+            max_events=experiment.max_events,
+            max_wall_seconds=experiment.max_wall_seconds,
+        )
 
     sim.at(experiment.warmup, bed.flows.open_windows, experiment.warmup)
     sim.run(until=experiment.duration)
+    if bed.invariant_checker is not None:
+        bed.invariant_checker.check_now()
     return ExperimentResult(experiment, bed)

@@ -17,8 +17,9 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Sequence
 
 from repro.harness.experiment import Experiment, ExperimentResult, run_experiment
+from repro.harness.resilience import RunFailure, run_with_retries
 
-__all__ = ["MetricEstimate", "repeat_experiment", "compare_metric"]
+__all__ = ["MetricEstimate", "RepeatOutcome", "repeat_experiment", "compare_metric"]
 
 #: Two-sided 95 % Student-t quantiles by degrees of freedom.
 _T95 = {
@@ -73,26 +74,72 @@ def _estimate(samples: Sequence[float]) -> MetricEstimate:
     return MetricEstimate(mean, half, tuple(samples))
 
 
+class RepeatOutcome(Dict[str, MetricEstimate]):
+    """Metric estimates plus the failure report of any seeds that died.
+
+    A plain ``{metric: estimate}`` dict (existing callers keep working)
+    with :attr:`failures` listing one
+    :class:`~repro.harness.resilience.RunFailure` per seed that failed
+    every retry; those seeds contribute no samples.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.failures: List[RunFailure] = []
+
+    @property
+    def complete(self) -> bool:
+        return not self.failures
+
+
 def repeat_experiment(
     experiment: Experiment,
     metrics: Dict[str, Callable[[ExperimentResult], float]],
     seeds: Sequence[int] = (1, 2, 3, 4, 5),
-) -> Dict[str, MetricEstimate]:
+    on_error: str = "raise",
+    max_retries: int = 1,
+) -> RepeatOutcome:
     """Run the experiment once per seed; estimate each metric.
 
     ``metrics`` maps a name to an extractor over the result, e.g.
     ``{"delay": lambda r: r.sojourn_summary()["mean"]}``.
+
+    ``on_error="capture"`` makes a failing seed retry on bumped seeds
+    (``max_retries`` extra attempts) and, failing that, be recorded on
+    the returned outcome's ``failures`` instead of killing the whole
+    repetition; estimates are then built from the surviving seeds (the
+    outcome may be empty if every seed failed).
     """
     if not seeds:
         raise ValueError("at least one seed is required")
     if not metrics:
         raise ValueError("at least one metric is required")
+    if on_error not in ("raise", "capture"):
+        raise ValueError(f"on_error must be 'raise' or 'capture' (got {on_error!r})")
     collected: Dict[str, List[float]] = {name: [] for name in metrics}
+    outcome = RepeatOutcome()
     for seed in seeds:
-        result = run_experiment(replace(experiment, seed=seed))
+        if on_error == "raise":
+            result = run_experiment(replace(experiment, seed=seed))
+        else:
+            result, failure = run_with_retries(
+                replace(experiment, seed=seed),
+                label=f"seed {seed}",
+                max_retries=max_retries,
+            )
+            if result is None:
+                outcome.failures.append(failure)
+                continue
         for name, extract in metrics.items():
             collected[name].append(float(extract(result)))
-    return {name: _estimate(samples) for name, samples in collected.items()}
+    outcome.update(
+        {
+            name: _estimate(samples)
+            for name, samples in collected.items()
+            if samples
+        }
+    )
+    return outcome
 
 
 def compare_metric(

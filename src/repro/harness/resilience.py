@@ -1,0 +1,109 @@
+"""Resilient execution of experiments: capture, retry, report.
+
+A 5×5 grid sweep that dies on cell 23 of 25 throws away twenty-two
+finished simulations and tells you nothing about where it died.  This
+module gives the sweep and repetition runners a different failure mode:
+each run is executed through :func:`run_with_retries`, which
+
+* catches the failure,
+* retries with a deterministically bumped seed (transient stochastic
+  failures — an unlucky divergence, a pathological event ordering — often
+  clear on a different random stream; systematic bugs do not),
+* and, if every attempt fails, returns a :class:`RunFailure` carrying the
+  structured error context (virtual time, component, invariant) from
+  :mod:`repro.errors` instead of raising.
+
+Sweeps then return partial results plus a failure report
+(:func:`format_failure_report`), so one poisoned cell costs one cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.harness.experiment import Experiment, ExperimentResult, run_experiment
+
+__all__ = [
+    "RunFailure",
+    "run_with_retries",
+    "format_failure_report",
+    "RETRY_SEED_STRIDE",
+]
+
+#: Added to the seed for each retry attempt.  A large prime, so bumped
+#: seeds never collide with the caller's own seed sequence (1, 2, 3, ...).
+RETRY_SEED_STRIDE = 100_003
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """One experiment's terminal failure, after exhausting retries.
+
+    ``seeds_tried`` lists every seed attempted (original plus bumps);
+    ``sim_time``/``component``/``detail`` come from the structured
+    :class:`~repro.errors.SimulationError` context when available.
+    """
+
+    label: str
+    seeds_tried: Tuple[int, ...]
+    error_type: str
+    error: str
+    sim_time: Optional[float] = None
+    component: Optional[str] = None
+
+    def __str__(self) -> str:
+        where = f" at t={self.sim_time:.3f}s" if self.sim_time is not None else ""
+        who = f" in {self.component}" if self.component else ""
+        return (
+            f"{self.label}: {self.error_type}{where}{who} "
+            f"(seeds tried: {', '.join(map(str, self.seeds_tried))}) — {self.error}"
+        )
+
+
+def run_with_retries(
+    experiment: Experiment,
+    label: str,
+    max_retries: int = 1,
+) -> Tuple[Optional[ExperimentResult], Optional[RunFailure]]:
+    """Run ``experiment``, retrying with bumped seeds on failure.
+
+    Returns ``(result, None)`` on success and ``(None, failure)`` once
+    the original seed plus ``max_retries`` bumped seeds have all failed.
+    ``KeyboardInterrupt``/``SystemExit`` are never swallowed.
+    """
+    if max_retries < 0:
+        raise ValueError(f"max_retries cannot be negative (got {max_retries})")
+    seeds = [experiment.seed + attempt * RETRY_SEED_STRIDE
+             for attempt in range(max_retries + 1)]
+    last_error: Optional[BaseException] = None
+    for seed in seeds:
+        try:
+            return run_experiment(replace(experiment, seed=seed)), None
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            last_error = exc
+    sim_time = getattr(last_error, "sim_time", None)
+    component = getattr(last_error, "component", None)
+    if isinstance(last_error, SimulationError) and last_error.context.get("callback"):
+        component = component or last_error.context["callback"]
+    return None, RunFailure(
+        label=label,
+        seeds_tried=tuple(seeds),
+        error_type=type(last_error).__name__,
+        error=str(last_error),
+        sim_time=sim_time,
+        component=component,
+    )
+
+
+def format_failure_report(failures) -> str:
+    """Render a failure list as text, one line per failed run."""
+    failures = list(failures)
+    if not failures:
+        return "all runs completed"
+    lines = [f"{len(failures)} run(s) failed:"]
+    lines.extend(f"  - {failure}" for failure in failures)
+    return "\n".join(lines)

@@ -13,10 +13,16 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.harness.experiment import AqmFactory, ExperimentResult
+from repro.harness.resilience import (
+    RunFailure,
+    format_failure_report,
+    run_with_retries,
+)
 from repro.harness.scenarios import MBPS, coexistence_mix, coexistence_pair
 
 __all__ = [
     "GridCell",
+    "GridOutcome",
     "PAPER_LINK_MBPS",
     "PAPER_RTTS_MS",
     "PAPER_FLOW_MIXES",
@@ -60,6 +66,27 @@ class GridCell:
         return self.result.balance(label_a, label_b)
 
 
+class GridOutcome(List[GridCell]):
+    """Completed grid cells plus the failure report of any that died.
+
+    A plain list of :class:`GridCell` (so existing code iterating a sweep
+    keeps working), with :attr:`failures` carrying one
+    :class:`~repro.harness.resilience.RunFailure` per cell that failed
+    every retry.  Failed cells are simply absent from the list.
+    """
+
+    def __init__(self, cells=(), failures=()):
+        super().__init__(cells)
+        self.failures: List[RunFailure] = list(failures)
+
+    @property
+    def complete(self) -> bool:
+        return not self.failures
+
+    def failure_report(self) -> str:
+        return format_failure_report(self.failures)
+
+
 def run_coexistence_grid(
     aqm_factory: AqmFactory,
     cc_a: str = "dctcp",
@@ -70,15 +97,27 @@ def run_coexistence_grid(
     warmup: float = 10.0,
     seed: int = 1,
     duration_for: Optional[Callable[[float, float], float]] = None,
-) -> List[GridCell]:
+    on_error: str = "raise",
+    max_retries: int = 1,
+) -> GridOutcome:
     """Run the Figure 15–18 grid; one long-running flow per class per cell.
 
     ``duration_for(link_mbps, rtt_ms)`` may override the run length per
     cell — benchmarks use it to keep high-rate cells affordable.
+
+    ``on_error`` selects the failure policy: ``"raise"`` (default)
+    propagates the first cell failure as before; ``"capture"`` retries the
+    cell with seed-bumped reruns (``max_retries`` attempts beyond the
+    first) and, if it still fails, records a structured
+    :class:`~repro.harness.resilience.RunFailure` on the returned
+    outcome's ``failures`` and moves on to the next cell, so a 25-cell
+    sweep never dies on cell 23.
     """
     from repro.harness.experiment import run_experiment
 
-    cells = []
+    if on_error not in ("raise", "capture"):
+        raise ValueError(f"on_error must be 'raise' or 'capture' (got {on_error!r})")
+    outcome = GridOutcome()
     for link in links_mbps:
         for rtt in rtts_ms:
             d = duration if duration_for is None else duration_for(link, rtt)
@@ -92,8 +131,18 @@ def run_coexistence_grid(
                 warmup=min(warmup, d / 2),
                 seed=seed,
             )
-            cells.append(GridCell(link, rtt, run_experiment(exp)))
-    return cells
+            if on_error == "raise":
+                outcome.append(GridCell(link, rtt, run_experiment(exp)))
+                continue
+            result, failure = run_with_retries(
+                exp, label=f"cell link={link}Mb/s rtt={rtt}ms",
+                max_retries=max_retries,
+            )
+            if result is not None:
+                outcome.append(GridCell(link, rtt, result))
+            else:
+                outcome.failures.append(failure)
+    return outcome
 
 
 def run_mix_sweep(
@@ -106,11 +155,20 @@ def run_mix_sweep(
     duration: float = 30.0,
     warmup: float = 10.0,
     seed: int = 1,
+    on_error: str = "raise",
+    max_retries: int = 1,
 ) -> Dict[Tuple[int, int], ExperimentResult]:
-    """Run the Figure 19–20 flow-mix sweep at one operating point."""
+    """Run the Figure 19–20 flow-mix sweep at one operating point.
+
+    With ``on_error="capture"``, failing mixes are retried on bumped
+    seeds and then skipped; the returned dict gains a ``failures``
+    attribute (a :class:`~repro.harness.resilience.RunFailure` list).
+    """
     from repro.harness.experiment import run_experiment
 
-    results = {}
+    if on_error not in ("raise", "capture"):
+        raise ValueError(f"on_error must be 'raise' or 'capture' (got {on_error!r})")
+    results = _MixResults()
     for n_a, n_b in mixes:
         exp = coexistence_mix(
             aqm_factory,
@@ -124,8 +182,25 @@ def run_mix_sweep(
             warmup=warmup,
             seed=seed,
         )
-        results[(n_a, n_b)] = run_experiment(exp)
+        if on_error == "raise":
+            results[(n_a, n_b)] = run_experiment(exp)
+            continue
+        result, failure = run_with_retries(
+            exp, label=f"mix {cc_a}x{n_a} vs {cc_b}x{n_b}", max_retries=max_retries
+        )
+        if result is not None:
+            results[(n_a, n_b)] = result
+        else:
+            results.failures.append(failure)
     return results
+
+
+class _MixResults(Dict[Tuple[int, int], ExperimentResult]):
+    """Mix-sweep result dict with an attached failure list."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.failures: List[RunFailure] = []
 
 
 def format_table(

@@ -22,12 +22,14 @@ from typing import Dict, List, Optional
 from repro.aqm.base import AQM
 from repro.metrics.flowstats import FlowTable
 from repro.metrics.series import TimeSeries
+from repro.net.faults import FaultInjector
 from repro.net.link import Link
 from repro.net.node import CountingSink
 from repro.net.packet import ECN, Packet
 from repro.net.pipe import Pipe
 from repro.net.queue import AQMQueue
 from repro.sim.engine import Simulator
+from repro.sim.invariants import InvariantChecker
 from repro.sim.random import RandomStreams
 from repro.tcp import SENDERS, TcpReceiver, TcpSender
 from repro.traffic.udp import UdpSource
@@ -120,6 +122,9 @@ class Dumbbell:
             )
         self.link = Link(sim, self.queue, capacity_bps)
         self.link.set_router(self._route)
+        #: Set by :meth:`install_faults` / :meth:`enable_validation`.
+        self.fault_injector: Optional[FaultInjector] = None
+        self.invariant_checker: Optional[InvariantChecker] = None
 
         self._last_bytes = 0
         self.sample_period = sample_period
@@ -162,6 +167,30 @@ class Dumbbell:
         """Change the bottleneck rate (Figure 12's experiment)."""
         self.capacity_bps = capacity_bps
         self.link.set_capacity(capacity_bps)
+
+    def install_faults(self, faults, rng) -> FaultInjector:
+        """Wire a declarative fault schedule (see :mod:`repro.net.faults`)
+        into the bottleneck link, queue and AQM.  Returns the injector,
+        whose :attr:`~repro.net.faults.FaultInjector.timeline` records
+        every fault transition with its virtual time."""
+        if self.fault_injector is None:
+            self.fault_injector = FaultInjector(
+                self.sim, rng, link=self.link, queue=self.queue, aqm=self.aqm
+            )
+        self.fault_injector.install(faults)
+        return self.fault_injector
+
+    def enable_validation(self, check_interval: Optional[float] = None) -> InvariantChecker:
+        """Attach a periodic :class:`~repro.sim.invariants.InvariantChecker`
+        to the bottleneck (packet conservation, probability range, clock
+        monotonicity, queue depth)."""
+        if self.invariant_checker is None:
+            kwargs = {} if check_interval is None else {"check_interval": check_interval}
+            self.invariant_checker = InvariantChecker(
+                self.sim, queue=self.queue, aqm=self.aqm, **kwargs
+            )
+            self.invariant_checker.start()
+        return self.invariant_checker
 
     # ------------------------------------------------------------------
     # Flow construction

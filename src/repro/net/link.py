@@ -65,6 +65,8 @@ class Link:
         self.sink = sink
         self.prop_delay = prop_delay
         self.busy = False
+        self.down = False
+        self.outages = 0
         self.busy_time = 0.0
         self.bytes_sent = 0
         self.packets_sent = 0
@@ -86,14 +88,36 @@ class Link:
         deliver each flow's packets to its own receiver-side pipe)."""
         self._route = route
 
+    def set_down(self) -> None:
+        """Take the link down (fault injection: an outage / flap window).
+
+        A transmission already in progress completes — the bits are on the
+        wire — but no new packet starts serializing until :meth:`set_up`.
+        Arriving packets keep queuing (and tail-drop once the buffer
+        fills), exactly as behind a dead interface.  Idempotent.
+        """
+        if not self.down:
+            self.down = True
+            self.outages += 1
+
+    def set_up(self) -> None:
+        """Restore a downed link and resume draining the queue.  Idempotent."""
+        if self.down:
+            self.down = False
+            if not self.busy:
+                self._transmit_next()
+
     # ------------------------------------------------------------------
     # Transmission loop
     # ------------------------------------------------------------------
     def _on_queue_nonempty(self) -> None:
-        if not self.busy:
+        if not self.busy and not self.down:
             self._transmit_next()
 
     def _transmit_next(self) -> None:
+        if self.down:
+            self.busy = False
+            return
         packet = self.queue.dequeue()
         if packet is None:
             self.busy = False
@@ -115,4 +139,5 @@ class Link:
         self._transmit_next()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Link {self.capacity_bps / 1e6:.1f}Mbps busy={self.busy}>"
+        state = "down" if self.down else ("busy" if self.busy else "idle")
+        return f"<Link {self.capacity_bps / 1e6:.1f}Mbps {state}>"

@@ -7,8 +7,10 @@ the sink exactly ``delay`` seconds after entering; ordering is preserved
 because the underlying event heap is FIFO for equal timestamps and delay is
 constant.
 
-:class:`LossyPipe` adds independent Bernoulli loss, used by failure-
-injection tests to check the TCP models' retransmission machinery.
+:class:`DropPipe` is the shared base for pipes that discard packets on the
+way through; :class:`LossyPipe` (independent Bernoulli loss) lives here,
+and the adverse-path family — Gilbert–Elliott bursty loss, corruption,
+reordering, duplication — lives in :mod:`repro.net.faults`.
 """
 
 from __future__ import annotations
@@ -20,7 +22,7 @@ from repro.net.link import Sink
 from repro.net.packet import Packet
 from repro.sim.engine import Simulator
 
-__all__ = ["Pipe", "LossyPipe"]
+__all__ = ["Pipe", "DropPipe", "LossyPipe"]
 
 
 class Pipe:
@@ -37,8 +39,12 @@ class Pipe:
     def deliver(self, packet: Packet) -> None:
         if self.sink is None:
             raise RuntimeError("pipe has no sink connected")
-        if self.delay > 0:
-            self.sim.schedule(self.delay, self._arrive, packet)
+        self._schedule_arrival(packet)
+
+    def _schedule_arrival(self, packet: Packet, extra_delay: float = 0.0) -> None:
+        delay = self.delay + extra_delay
+        if delay > 0:
+            self.sim.schedule(delay, self._arrive, packet)
         else:
             self._arrive(packet)
 
@@ -50,7 +56,28 @@ class Pipe:
         return f"<Pipe delay={self.delay * 1e3:.2f}ms>"
 
 
-class LossyPipe(Pipe):
+class DropPipe(Pipe):
+    """A pipe that may discard packets; subclasses decide which.
+
+    Subclasses override :meth:`_should_drop`; dropped packets are counted
+    in :attr:`lost` and never reach the sink.
+    """
+
+    def __init__(self, sim: Simulator, delay: float, sink: Optional[Sink] = None):
+        super().__init__(sim, delay, sink)
+        self.lost = 0
+
+    def _should_drop(self, packet: Packet) -> bool:
+        raise NotImplementedError
+
+    def deliver(self, packet: Packet) -> None:
+        if self._should_drop(packet):
+            self.lost += 1
+            return
+        super().deliver(packet)
+
+
+class LossyPipe(DropPipe):
     """A pipe that independently drops each packet with probability ``loss``."""
 
     def __init__(
@@ -66,10 +93,6 @@ class LossyPipe(Pipe):
             raise ValueError(f"loss probability must be in [0,1] (got {loss})")
         self.loss = loss
         self.rng = rng
-        self.lost = 0
 
-    def deliver(self, packet: Packet) -> None:
-        if self.loss > 0 and self.rng.random() < self.loss:
-            self.lost += 1
-            return
-        super().deliver(packet)
+    def _should_drop(self, packet: Packet) -> bool:
+        return self.loss > 0 and self.rng.random() < self.loss

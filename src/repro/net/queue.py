@@ -50,6 +50,7 @@ class QueueStats:
         "dequeued",
         "aqm_dropped",
         "tail_dropped",
+        "fault_dropped",
         "ce_marked",
         "bytes_arrived",
         "bytes_dequeued",
@@ -61,19 +62,20 @@ class QueueStats:
         self.dequeued = 0
         self.aqm_dropped = 0
         self.tail_dropped = 0
+        self.fault_dropped = 0
         self.ce_marked = 0
         self.bytes_arrived = 0
         self.bytes_dequeued = 0
 
     @property
     def dropped(self) -> int:
-        return self.aqm_dropped + self.tail_dropped
+        return self.aqm_dropped + self.tail_dropped + self.fault_dropped
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"<QueueStats in={self.arrived} out={self.dequeued} "
             f"aqm_drop={self.aqm_dropped} tail_drop={self.tail_dropped} "
-            f"mark={self.ce_marked}>"
+            f"fault_drop={self.fault_dropped} mark={self.ce_marked}>"
         )
 
 
@@ -197,6 +199,10 @@ class AQMQueue:
         self._fifo: deque[Packet] = deque()
         self._bytes = 0
         self._wakeup: Optional[Callable[[], None]] = None
+        #: Fault-injection gate: a predicate consulted before the AQM; a
+        #: True return drops the arriving packet (counted separately from
+        #: AQM/tail drops so loss attribution in reports stays honest).
+        self._ingress_fault: Optional[Callable[[Packet], bool]] = None
         if aqm is not None:
             aqm.attach(sim, self)
 
@@ -219,6 +225,10 @@ class AQMQueue:
         """Run the AQM decision and enqueue.  Returns False if dropped."""
         self.stats.arrived += 1
         self.stats.bytes_arrived += packet.size
+
+        if self._ingress_fault is not None and self._ingress_fault(packet):
+            self.stats.fault_dropped += 1
+            return False
 
         if len(self._fifo) >= self.buffer_packets:
             self.stats.tail_dropped += 1
@@ -262,6 +272,17 @@ class AQMQueue:
     def set_wakeup(self, fn: Callable[[], None]) -> None:
         """Register the link's 'queue became non-empty' notification."""
         self._wakeup = fn
+
+    def set_ingress_fault(self, fn: Optional[Callable[[Packet], bool]]) -> None:
+        """Install (or clear, with ``None``) a fault-injection drop gate.
+
+        The predicate runs on every arrival before the AQM sees the
+        packet; returning True drops it and increments
+        ``stats.fault_dropped``.  Used by
+        :class:`repro.net.faults.FaultInjector` for bursty-loss and
+        corruption windows at the bottleneck.
+        """
+        self._ingress_fault = fn
 
     def __len__(self) -> int:
         return len(self._fifo)

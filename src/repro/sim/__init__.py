@@ -1,6 +1,15 @@
-"""Discrete-event simulation substrate: engine, clock, seeded RNG streams."""
+"""Discrete-event simulation substrate: engine, clock, seeded RNG streams,
+run watchdog and the optional invariant checker."""
 
-from repro.sim.engine import Event, PeriodicTimer, Simulator
+from repro.sim.engine import Event, PeriodicTimer, Simulator, Watchdog
+from repro.sim.invariants import InvariantChecker
 from repro.sim.random import RandomStreams
 
-__all__ = ["Simulator", "Event", "PeriodicTimer", "RandomStreams"]
+__all__ = [
+    "Simulator",
+    "Event",
+    "PeriodicTimer",
+    "Watchdog",
+    "InvariantChecker",
+    "RandomStreams",
+]

@@ -26,9 +26,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Any, Callable, Optional
 
-__all__ = ["Simulator", "Event", "PeriodicTimer"]
+from repro.errors import CallbackError, SimulationError, WatchdogExceeded
+
+__all__ = ["Simulator", "Event", "PeriodicTimer", "Watchdog"]
 
 
 class Event:
@@ -63,6 +66,38 @@ class Event:
         return f"<Event t={self.time:.6f} {getattr(self.fn, '__name__', self.fn)} {state}>"
 
 
+class Watchdog:
+    """Budget limits for a :meth:`Simulator.run` call.
+
+    A runaway simulation (an event loop that keeps rescheduling itself, or
+    a scenario far larger than intended) would otherwise consume the whole
+    process.  The watchdog bounds one ``run`` call by total events
+    processed and/or host wall-clock seconds; exceeding either raises
+    :class:`~repro.errors.WatchdogExceeded` with the virtual time reached.
+
+    The wall clock is sampled every :data:`WALL_CHECK_STRIDE` events to
+    keep the per-event overhead negligible.
+    """
+
+    WALL_CHECK_STRIDE = 1024
+
+    __slots__ = ("max_events", "max_wall_seconds")
+
+    def __init__(
+        self,
+        max_events: Optional[int] = None,
+        max_wall_seconds: Optional[float] = None,
+    ):
+        if max_events is not None and max_events <= 0:
+            raise ValueError(f"max_events must be positive (got {max_events})")
+        if max_wall_seconds is not None and max_wall_seconds <= 0:
+            raise ValueError(
+                f"max_wall_seconds must be positive (got {max_wall_seconds})"
+            )
+        self.max_events = max_events
+        self.max_wall_seconds = max_wall_seconds
+
+
 class Simulator:
     """Event-driven virtual-time simulator.
 
@@ -86,6 +121,23 @@ class Simulator:
         self._seq = itertools.count()
         self._events_processed = 0
         self._running = False
+        self._watchdog: Optional[Watchdog] = None
+
+    def set_watchdog(
+        self,
+        max_events: Optional[int] = None,
+        max_wall_seconds: Optional[float] = None,
+    ) -> None:
+        """Install (or, with no arguments, remove) a run budget.
+
+        Subsequent :meth:`run` calls are each limited to ``max_events``
+        processed events and ``max_wall_seconds`` of host time; exceeding
+        either raises :class:`~repro.errors.WatchdogExceeded`.
+        """
+        if max_events is None and max_wall_seconds is None:
+            self._watchdog = None
+        else:
+            self._watchdog = Watchdog(max_events, max_wall_seconds)
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -136,36 +188,98 @@ class Simulator:
 
         The clock is left exactly at ``until`` so back-to-back ``run`` calls
         compose: ``run(10); run(20)`` is equivalent to ``run(20)``.
+
+        If a callback raises, the exception propagates wrapped in a
+        :class:`~repro.errors.CallbackError` carrying the event's virtual
+        time and callback name (structured :class:`SimulationError`\\ s pass
+        through with their sim-time filled in); ``_running`` is always
+        reset so the simulator stays usable, with the clock left at the
+        failing event's time.
         """
         if until < self.now:
             raise ValueError(f"cannot run backwards to t={until} from t={self.now}")
+        watchdog = self._watchdog
+        event_budget = (
+            self._events_processed + watchdog.max_events
+            if watchdog is not None and watchdog.max_events is not None
+            else None
+        )
+        wall_limit = watchdog.max_wall_seconds if watchdog is not None else None
+        wall_start = time.monotonic() if wall_limit is not None else 0.0
         self._running = True
         heap = self._heap
-        while heap:
-            ev = heap[0]
-            if ev.time > until:
-                break
-            heapq.heappop(heap)
-            if ev.cancelled:
-                continue
-            self.now = ev.time
-            ev.fn(*ev.args)
-            self._events_processed += 1
-        self.now = until
-        self._running = False
+        try:
+            while heap:
+                ev = heap[0]
+                if ev.time > until:
+                    break
+                heapq.heappop(heap)
+                if ev.cancelled:
+                    continue
+                self.now = ev.time
+                self._dispatch(ev)
+                self._events_processed += 1
+                if event_budget is not None and self._events_processed >= event_budget:
+                    raise WatchdogExceeded(
+                        f"event budget of {watchdog.max_events} events exhausted "
+                        f"before reaching t={until}",
+                        sim_time=self.now,
+                        component="Simulator",
+                        context={"events_processed": self._events_processed},
+                    )
+                if (
+                    wall_limit is not None
+                    and self._events_processed % Watchdog.WALL_CHECK_STRIDE == 0
+                    and time.monotonic() - wall_start > wall_limit
+                ):
+                    raise WatchdogExceeded(
+                        f"wall-clock budget of {wall_limit}s exhausted "
+                        f"before reaching t={until}",
+                        sim_time=self.now,
+                        component="Simulator",
+                        context={"wall_seconds": time.monotonic() - wall_start},
+                    )
+            self.now = until
+        finally:
+            self._running = False
 
     def step(self) -> bool:
-        """Process a single event.  Returns False when the heap is empty."""
+        """Process a single event.  Returns False when the heap is empty.
+
+        Callback failures receive the same structured wrapping as in
+        :meth:`run`.
+        """
         heap = self._heap
         while heap:
             ev = heapq.heappop(heap)
             if ev.cancelled:
                 continue
             self.now = ev.time
-            ev.fn(*ev.args)
+            self._dispatch(ev)
             self._events_processed += 1
             return True
         return False
+
+    def _dispatch(self, ev: Event) -> None:
+        """Run one callback, converting failures into structured errors."""
+        try:
+            ev.fn(*ev.args)
+        except SimulationError as exc:
+            # Already structured (invariant checker, nested engine, ...);
+            # just fill in the virtual time if the raiser could not.
+            if exc.sim_time is None:
+                exc.sim_time = ev.time
+            raise
+        except Exception as exc:
+            name = getattr(ev.fn, "__qualname__", None) or getattr(
+                ev.fn, "__name__", repr(ev.fn)
+            )
+            raise CallbackError(
+                f"event callback {name!r} raised {type(exc).__name__}: {exc}",
+                sim_time=ev.time,
+                callback=name,
+                component="Simulator",
+            ) from exc
 
     @property
     def pending_events(self) -> int:
@@ -184,7 +298,9 @@ class Simulator:
 class PeriodicTimer:
     """Re-arming timer produced by :meth:`Simulator.every`."""
 
-    __slots__ = ("_sim", "interval", "_fn", "_args", "_event", "_stopped", "fires")
+    __slots__ = (
+        "_sim", "interval", "_fn", "_args", "_event", "_stopped", "fires", "_jitter",
+    )
 
     def __init__(self, sim: Simulator, interval: float, fn: Callable[..., Any], args: tuple):
         self._sim = sim
@@ -194,9 +310,19 @@ class PeriodicTimer:
         self._event: Optional[Event] = None
         self._stopped = False
         self.fires = 0
+        self._jitter: Optional[Callable[[], float]] = None
 
     def start(self, delay: float) -> None:
         self._event = self._sim.schedule(delay, self._fire)
+
+    def set_jitter(self, jitter: Optional[Callable[[], float]]) -> None:
+        """Install (or clear, with ``None``) a per-firing delay perturbation.
+
+        ``jitter()`` is sampled before each re-arm and added to the
+        nominal interval; the result is floored at 0.  Used by the fault
+        injector to model an AQM update timer that drifts under load.
+        """
+        self._jitter = jitter
 
     def _fire(self) -> None:
         if self._stopped:
@@ -204,7 +330,10 @@ class PeriodicTimer:
         self.fires += 1
         self._fn(*self._args)
         if not self._stopped:
-            self._event = self._sim.schedule(self.interval, self._fire)
+            delay = self.interval
+            if self._jitter is not None:
+                delay = max(0.0, delay + self._jitter())
+            self._event = self._sim.schedule(delay, self._fire)
 
     def stop(self) -> None:
         """Stop the timer; pending firing is cancelled."""

@@ -5,7 +5,6 @@ responsive than PIE by increasing the gain factors by ×2.5 without the
 gain margin dipping below zero anywhere over the full load range."
 """
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Unit and equivalence tests for the continuously self-tuned PI."""
 
-import math
 import random
 
 import pytest

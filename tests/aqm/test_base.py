@@ -4,7 +4,7 @@ import pytest
 
 from repro.aqm.base import AQM, Decision
 from repro.core.pi2 import Pi2Aqm
-from tests.conftest import StubQueue, make_packet
+from tests.conftest import make_packet
 
 
 class Recording(AQM):

@@ -1,6 +1,5 @@
 """Unit tests for the probability coupling laws (equations 13–14)."""
 
-import math
 
 import pytest
 

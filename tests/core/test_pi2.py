@@ -1,6 +1,5 @@
 """Unit tests for the PI2 AQM (Sections 4–5, Figure 8)."""
 
-import math
 import random
 
 import pytest

@@ -1,6 +1,5 @@
 """Tests for per-flow congestion-window tracking in the dumbbell."""
 
-import pytest
 
 from repro.core.pi2 import Pi2Aqm
 from repro.harness.topology import Dumbbell

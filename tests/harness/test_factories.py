@@ -62,7 +62,6 @@ class TestParameterForwarding:
 
 class TestSeedIsolation:
     def test_same_stream_reproduces_decisions(self):
-        from repro.aqm.base import Decision
         from tests.conftest import make_packet
 
         outcomes = []

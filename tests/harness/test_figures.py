@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.harness.figures import FIGURES, FigureData, generate_figure
+from repro.harness.figures import FIGURES, generate_figure
 
 
 class TestRegistry:

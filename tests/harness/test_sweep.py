@@ -1,8 +1,7 @@
 """Unit tests for grid sweeps and table formatting."""
 
-import pytest
 
-from repro.harness.factories import pi2_factory, coupled_factory
+from repro.harness.factories import coupled_factory
 from repro.harness.sweep import (
     PAPER_FLOW_MIXES,
     PAPER_LINK_MBPS,

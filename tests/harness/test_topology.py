@@ -4,8 +4,6 @@ import pytest
 
 from repro.core.pi2 import Pi2Aqm
 from repro.harness.topology import Dumbbell
-from repro.sim.engine import Simulator
-from repro.sim.random import RandomStreams
 
 
 def make_bed(sim, streams, aqm=None, capacity=10e6, **kwargs):

@@ -11,7 +11,6 @@
   a sanity check that the AQM isn't accidentally scheduling.
 """
 
-import random
 
 import numpy as np
 import pytest

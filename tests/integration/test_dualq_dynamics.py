@@ -1,7 +1,5 @@
 """Further DualQ dynamics tests: controller behaviour and overload."""
 
-import numpy as np
-import pytest
 
 from repro.aqm.dualq import DualQueueCoupledAqm
 from repro.harness.topology import Dumbbell

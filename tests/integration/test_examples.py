@@ -10,7 +10,6 @@ import runpy
 from contextlib import redirect_stdout
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 
@@ -61,6 +60,15 @@ class TestExamples:
         for queue in ("tail-drop", "PIE", "PI2", "DualQ"):
             assert queue in out
         assert "delay p99" in out
+
+    def test_fault_tolerance(self):
+        out = run_example("fault_tolerance.py")
+        assert "=== PI2 through link flap + burst loss ===" in out
+        assert "link down" in out and "link up" in out
+        assert "burst loss" in out
+        assert "resilient sweep with one sabotaged cell" in out
+        assert "cells completed: 2 of 3" in out
+        assert "ControllerDivergence" in out
 
     def test_paper_walkthrough(self):
         out = run_example("paper_walkthrough.py")

@@ -1,9 +1,18 @@
 """Failure-injection tests: the transport machinery under adverse paths."""
 
+
 import pytest
 
 from repro.harness.experiment import Experiment, FlowGroup, run_experiment
 from repro.harness.factories import pi2_factory, pie_factory
+from repro.net.faults import (
+    BurstLossFault,
+    DuplicatingPipe,
+    GilbertElliottLoss,
+    GilbertElliottPipe,
+    LinkFlapFault,
+    ReorderingPipe,
+)
 from repro.net.pipe import LossyPipe
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
@@ -76,6 +85,117 @@ class TestCapacityCollapse:
         )
         tail = r.queue_delay.window(30.0, 40.0)
         assert tail.max() < 0.100
+
+
+class TestAdversePipes:
+    """End-to-end transfers through the fault-injection pipes."""
+
+    def _run_with_pipes(self, fwd, rev, flow_size=400, sack=False):
+        sim = fwd.sim
+        sender = RenoSender(
+            sim, 0, transmit=fwd.deliver, flow_size=flow_size, sack=sack
+        )
+        receiver = TcpReceiver(sim, 0, ack_out=rev.deliver)
+        fwd.sink = receiver
+        rev.sink = sender
+        sender.start(0.0)
+        sim.run(120.0)
+        return sender, receiver
+
+    @pytest.mark.parametrize("sack", [False, True])
+    def test_completes_under_reordering(self, sack):
+        """30% of data packets delayed enough to be overtaken: spurious
+        dupACKs must not wedge either NewReno or SACK recovery."""
+        sim = Simulator()
+        streams = RandomStreams(1)
+        fwd = ReorderingPipe(
+            sim, 0.025, reorder=0.3, extra_delay=0.010,
+            rng=streams.stream("fwd"),
+        )
+        rev = Pipe(sim, 0.025)
+        sender, receiver = self._run_with_pipes(fwd, rev, sack=sack)
+        assert sender.completed
+        assert receiver.rcv_next == 400
+        assert fwd.reordered > 0
+
+    @pytest.mark.parametrize("sack", [False, True])
+    def test_completes_under_duplication(self, sack):
+        """20% duplicated data packets: stale copies must be discarded,
+        not double-delivered or allowed to corrupt ACK accounting."""
+        sim = Simulator()
+        streams = RandomStreams(2)
+        fwd = DuplicatingPipe(
+            sim, 0.025, duplicate=0.2, rng=streams.stream("fwd"),
+            dup_gap=0.001,
+        )
+        rev = Pipe(sim, 0.025)
+        sender, receiver = self._run_with_pipes(fwd, rev, sack=sack)
+        assert sender.completed
+        assert receiver.rcv_next == 400
+        assert fwd.duplicated > 0
+
+    def test_completes_under_duplicated_acks(self):
+        """Duplicated pure ACKs must be treated as stale, not as dupACKs
+        signalling loss."""
+        sim = Simulator()
+        streams = RandomStreams(3)
+        fwd = Pipe(sim, 0.025)
+        rev = DuplicatingPipe(
+            sim, 0.025, duplicate=0.3, rng=streams.stream("rev"),
+        )
+        sender, receiver = self._run_with_pipes(fwd, rev)
+        assert sender.completed
+        assert receiver.rcv_next == 400
+
+    @pytest.mark.parametrize("sack", [False, True])
+    def test_completes_under_bursty_loss(self, sack):
+        """Gilbert–Elliott bursts take out whole windows; retransmission
+        machinery (RTO back-off + recovery) must still finish the flow."""
+        sim = Simulator()
+        streams = RandomStreams(4)
+        model = GilbertElliottLoss.from_rates(
+            streams.stream("ge"), loss_rate=0.05, mean_burst=5.0
+        )
+        fwd = GilbertElliottPipe(sim, 0.025, model)
+        rev = Pipe(sim, 0.025)
+        sender, receiver = self._run_with_pipes(fwd, rev, sack=sack)
+        assert sender.completed
+        assert receiver.rcv_next == 400
+        assert fwd.lost > 0
+
+
+class TestFaultSchedule:
+    def test_pi2_recovers_from_flap_and_burst_loss(self):
+        """The declarative fault path end-to-end: a bottleneck outage plus
+        a bursty-loss window mid-run, with invariant checking on; PI2 must
+        re-pin its 20 ms target once the faults clear."""
+        r = run_experiment(
+            Experiment(
+                capacity_bps=10e6,
+                duration=40.0,
+                warmup=5.0,
+                aqm_factory=pi2_factory(),
+                flows=[FlowGroup(cc="reno", count=5, rtt=0.02)],
+                faults=[
+                    LinkFlapFault(10.0, 1.0),
+                    BurstLossFault(15.0, 5.0, loss_rate=0.05, mean_burst=8.0),
+                ],
+                validate=True,
+            )
+        )
+        # All scheduled fault transitions fired, in order.
+        events = [msg for _, msg in r.fault_timeline]
+        assert events[0] == "link down"
+        assert "link up" in events
+        assert any("burst loss" in msg and "on" in msg for msg in events)
+        assert any("burst loss" in msg and "off" in msg for msg in events)
+        # Losses were attributed to the fault gate, not the AQM.
+        assert r.queue_stats.fault_dropped > 0
+        # Invariants held throughout.
+        assert r.invariant_checks > 0
+        # Recovery: the controller re-pins the target after the faults.
+        tail = r.queue_delay.window(30.0, 40.0)
+        assert tail.mean() == pytest.approx(0.020, abs=0.015)
 
 
 class TestBufferExhaustion:

@@ -6,7 +6,6 @@ metric lands in a physically sensible band — a guard against config rot
 alone would miss.
 """
 
-import pytest
 
 from repro.harness import (
     MBPS,

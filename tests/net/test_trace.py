@@ -1,6 +1,5 @@
 """Tests for packet-event tracing."""
 
-import random
 
 import pytest
 

@@ -12,7 +12,6 @@ from typing import Callable, Optional
 from repro.net.packet import Packet
 from repro.net.pipe import Pipe
 from repro.sim.engine import Simulator
-from repro.tcp.base import TcpSender
 from repro.tcp.receiver import TcpReceiver
 
 #: Interceptor verdicts.

@@ -1,11 +1,9 @@
 """Unit tests for the shared TCP sender machinery."""
 
-import math
 
 import pytest
 
 from repro.tcp.base import MIN_RTO, TcpSender
-from repro.tcp.reno import RenoSender
 from tests.tcp.helpers import DROP, FORWARD, Loopback, drop_seqs, mark_seqs
 
 

@@ -1,6 +1,5 @@
 """Unit tests for SACK recovery (opt-in extension to the NewReno base)."""
 
-import pytest
 
 from repro.tcp.reno import RenoSender
 from tests.tcp.helpers import DROP, FORWARD, Loopback, drop_seqs
@@ -130,7 +129,6 @@ class TestSackThroughput:
     def test_sack_beats_newreno_under_random_loss(self, sim):
         """Under 2 % i.i.d. loss, SACK recovers goodput that NewReno
         loses — the mechanism behind the EXPERIMENTS.md fidelity note."""
-        import random
 
         from repro.aqm.fixed import FixedProbabilityAqm
         from repro.harness.experiment import Experiment, FlowGroup, run_experiment

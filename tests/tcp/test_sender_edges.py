@@ -3,7 +3,6 @@
 import pytest
 
 from repro.tcp.cubic import CubicSender
-from repro.tcp.reno import RenoSender
 from tests.tcp.helpers import Loopback, drop_seqs, mark_seqs
 
 

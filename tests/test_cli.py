@@ -55,6 +55,42 @@ class TestRun:
         assert json.loads(path.read_text())["config"]["capacity_bps"] == 10e6
 
 
+class TestRunValidateAndFaults:
+    def test_validate_flag_reports_checks(self):
+        code, text = run_cli("run", "--scenario", "light", "--aqm", "pi2",
+                             "--duration", "8", "--validate")
+        assert code == 0
+        assert "invariant checks" in text
+
+    def test_fault_flag_injects_and_reports(self):
+        code, text = run_cli("run", "--scenario", "light", "--aqm", "pi2",
+                             "--duration", "10",
+                             "--fault", "burstloss:3:4:0.05:8")
+        assert code == 0
+        assert "fault drops" in text
+
+    def test_repeatable_fault_flag(self):
+        code, text = run_cli("run", "--scenario", "light", "--aqm", "pi2",
+                             "--duration", "10",
+                             "--fault", "flap:3:1",
+                             "--fault", "stall:5:2")
+        assert code == 0
+        assert "queue delay mean" in text
+
+    def test_bad_fault_spec_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            run_cli("run", "--scenario", "light", "--fault", "meteor:1:2")
+
+    def test_fault_beyond_duration_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            run_cli("run", "--scenario", "light", "--duration", "5",
+                    "--fault", "flap:30:2")
+
+
 class TestCoexist:
     def test_reports_ratio(self):
         code, text = run_cli("coexist", "--aqm", "coupled", "--link", "10",

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.net.packet import ECN, Packet
+from repro.net.packet import Packet
 from repro.traffic.realtime import RealtimeSink, RealtimeSource
 
 
