@@ -1,0 +1,95 @@
+"""Perf smoke: determinism regressions + benchmark harness sanity.
+
+Run as tests (CI's `perf-smoke` job)::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf_smoke.py -q
+
+or as a script, which also writes the ``BENCH_<date>.json`` artifact::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py
+
+The determinism checks here are deliberately *bit-exact* (``digest()``
+equality, not approx): the simulator promises same seed ⇒ same result,
+serial or parallel, fresh or cached, and any drift is a regression even
+when the numbers only move in the 15th decimal.
+"""
+
+import tempfile
+
+from repro.harness.cache import ResultCache
+from repro.harness.factories import coupled_factory
+from repro.harness.sweep import run_coexistence_grid
+
+#: Small enough for CI, big enough to cross warmup and exercise the AQM.
+TINY_GRID = {"links_mbps": (4, 12), "rtts_ms": (5, 10), "duration": 5.0, "warmup": 2.0}
+
+
+def _digests(outcome):
+    return [cell.result.digest() for cell in outcome]
+
+
+def test_serial_rerun_is_bit_identical():
+    a = run_coexistence_grid(coupled_factory(), seed=7, **TINY_GRID)
+    b = run_coexistence_grid(coupled_factory(), seed=7, **TINY_GRID)
+    assert _digests(a) == _digests(b)
+
+
+def test_parallel_matches_serial_bit_exact():
+    serial = run_coexistence_grid(coupled_factory(), seed=7, **TINY_GRID)
+    parallel = run_coexistence_grid(coupled_factory(), seed=7, jobs=2, **TINY_GRID)
+    assert len(serial) == len(parallel)
+    assert [(c.link_mbps, c.rtt_ms) for c in serial] == [
+        (c.link_mbps, c.rtt_ms) for c in parallel
+    ]
+    assert _digests(serial) == _digests(parallel)
+
+
+def test_cached_rerun_matches_and_hits():
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cache = ResultCache(cache_dir)
+        cold = run_coexistence_grid(coupled_factory(), seed=7, cache=cache, **TINY_GRID)
+        assert cache.stats.stores == len(cold)
+        warm = run_coexistence_grid(coupled_factory(), seed=7, cache=cache, **TINY_GRID)
+        assert cache.stats.hits == len(cold)
+        assert _digests(cold) == _digests(warm)
+
+
+def test_bench_payload_shape(tmp_path=None):
+    from repro.perf import run_benchmarks, write_bench_json
+
+    payload = run_benchmarks(quick=True)
+    names = {bench["name"] for bench in payload["benchmarks"]}
+    assert {
+        "engine_events",
+        "cancel_churn",
+        "experiment_light_tcp",
+        "grid_serial",
+        "grid_parallel",
+        "grid_cache_cold",
+        "grid_cache_warm",
+    } <= names
+    by_name = {bench["name"]: bench for bench in payload["benchmarks"]}
+    assert by_name["grid_parallel"]["matches_serial"] is True
+    assert by_name["grid_cache_warm"]["matches_cold"] is True
+    assert by_name["engine_events"]["events_per_sec"] > 0
+    if tmp_path is not None:
+        path = write_bench_json(payload, tmp_path / "BENCH_smoke.json")
+        assert path.exists()
+
+
+def main() -> int:
+    """Script mode: run the checks, then emit the benchmark artifact."""
+    from repro.perf import format_bench_table, run_benchmarks, write_bench_json
+
+    test_serial_rerun_is_bit_identical()
+    test_parallel_matches_serial_bit_exact()
+    test_cached_rerun_matches_and_hits()
+    payload = run_benchmarks(quick=True)
+    print(format_bench_table(payload))
+    path = write_bench_json(payload)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Thin wrapper so `python perf/run_bench.py` works from a clean checkout.
+
+Equivalent to `python -m repro bench ...`; adds src/ to sys.path itself
+so no PYTHONPATH fiddling is needed.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+
+def main() -> int:
+    from repro.cli import main as cli_main
+
+    return cli_main(["bench", *sys.argv[1:]])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

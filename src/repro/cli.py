@@ -122,6 +122,29 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--scale", type=float, default=1.0,
                         help="duration multiplier (1 = quick defaults)")
     figure.add_argument("--csv", metavar="PATH", help="also write rows as CSV")
+    _add_perf_options(figure)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the performance benchmark harness, emit BENCH_<date>.json",
+    )
+    bench.add_argument("--full", action="store_true",
+                       help="larger grids / longer runs (default: quick)")
+    bench.add_argument("--jobs", type=int, default=0, metavar="N",
+                       help="worker processes for the parallel benchmarks "
+                            "(0 = one per CPU)")
+    bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument("--output", metavar="PATH",
+                       help="JSON path (default: ./BENCH_<date>.json)")
+    bench.add_argument("--profile", action="store_true",
+                       help="also print a cProfile report of one experiment run")
+
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("--cache-dir", metavar="DIR",
+                       help="cache location (default: $REPRO_CACHE_DIR or "
+                            "~/.cache/repro-pi2)")
+    cache.add_argument("--clear", action="store_true",
+                       help="delete every cached result")
 
     fluid = sub.add_parser("fluid", help="fluid-model trajectory (Appendix B)")
     fluid.add_argument("--kind", choices=["reno_pi2", "reno_pi", "scal_pi"],
@@ -131,6 +154,27 @@ def _build_parser() -> argparse.ArgumentParser:
     fluid.add_argument("--rtt", type=float, default=100.0, help="ms")
     fluid.add_argument("--duration", type=float, default=40.0)
     return parser
+
+
+def _add_perf_options(parser) -> None:
+    """--jobs / --cache-dir / --no-cache, shared by simulation commands."""
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="run sweep cells in N worker processes "
+                             "(0 = one per CPU; default: serial)")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="result-cache location (default: $REPRO_CACHE_DIR "
+                             "or ~/.cache/repro-pi2)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+
+
+def _make_cache(args):
+    """Build the ResultCache an argparse namespace asks for (or None)."""
+    from repro.harness.cache import DEFAULT_CACHE_DIR, ResultCache
+
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultCache(getattr(args, "cache_dir", None) or DEFAULT_CACHE_DIR)
 
 
 def _cmd_list(out) -> int:
@@ -146,11 +190,57 @@ def _cmd_list(out) -> int:
 def _cmd_figure(args, out) -> int:
     from repro.harness.figures import generate_figure
 
-    data = generate_figure(args.name, scale=args.scale)
+    cache = _make_cache(args)
+    data = generate_figure(args.name, scale=args.scale, jobs=args.jobs, cache=cache)
     print(data.table(), file=out)
+    if cache is not None and (cache.stats.hits or cache.stats.stores):
+        print(f"cache: {cache.stats} ({cache.root})", file=out)
     if args.csv:
         data.to_csv(args.csv)
         print(f"wrote {args.csv}", file=out)
+    return 0
+
+
+def _cmd_bench(args, out) -> int:
+    from repro.perf import (
+        format_bench_table,
+        profile_experiment,
+        run_benchmarks,
+        write_bench_json,
+    )
+
+    payload = run_benchmarks(quick=not args.full, jobs=args.jobs, seed=args.seed)
+    print(format_bench_table(payload), file=out)
+    path = write_bench_json(payload, args.output)
+    print(f"wrote {path}", file=out)
+    if args.profile:
+        from repro.harness import light_tcp
+        from repro.harness.factories import pi2_factory
+
+        report = profile_experiment(
+            light_tcp(pi2_factory(), duration=5.0, seed=args.seed)
+        )
+        print(report, file=out)
+    mismatches = [
+        b["name"] for b in payload["benchmarks"]
+        if b.get("matches_serial") is False or b.get("matches_cold") is False
+    ]
+    if mismatches:
+        print(f"DETERMINISM REGRESSION in: {', '.join(mismatches)}", file=out)
+        return 1
+    return 0
+
+
+def _cmd_cache(args, out) -> int:
+    from repro.harness.cache import DEFAULT_CACHE_DIR, ResultCache
+
+    cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}", file=out)
+    else:
+        print(f"cache dir: {cache.root}", file=out)
+        print(f"entries:   {len(cache)}", file=out)
     return 0
 
 
@@ -294,6 +384,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_coexist(args, out)
     if args.command == "figure":
         return _cmd_figure(args, out)
+    if args.command == "bench":
+        return _cmd_bench(args, out)
+    if args.command == "cache":
+        return _cmd_cache(args, out)
     if args.command == "bode":
         return _cmd_bode(args, out)
     if args.command == "fluid":

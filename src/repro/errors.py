@@ -42,6 +42,7 @@ __all__ = [
     "WatchdogExceeded",
     "InvariantViolation",
     "ControllerDivergence",
+    "ParallelExecutionError",
 ]
 
 
@@ -146,3 +147,27 @@ class InvariantViolation(SimulationError):
 
 class ControllerDivergence(InvariantViolation):
     """A PI controller produced or received a non-finite value."""
+
+
+class ParallelExecutionError(ReproError):
+    """A sweep cell failed inside a worker process (``on_error="raise"``).
+
+    The original exception happened in another process; what crosses the
+    boundary is its type name, message and structured context, carried
+    here so the parent still learns where and when the cell died.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        label: Optional[str] = None,
+        error_type: Optional[str] = None,
+        sim_time: Optional[float] = None,
+        component: Optional[str] = None,
+    ):
+        super().__init__(message)
+        self.label = label
+        self.error_type = error_type
+        self.sim_time = sim_time
+        self.component = component

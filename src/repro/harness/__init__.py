@@ -1,14 +1,17 @@
 """Evaluation harness: dumbbell topology, experiments, scenarios, sweeps."""
 
+from repro.harness.cache import ResultCache, experiment_cache_key
 from repro.harness.experiment import (
     Experiment,
     ExperimentResult,
     FlowGroup,
+    ResultMetrics,
     UdpGroup,
     run_experiment,
 )
 from repro.harness.factories import (
     FACTORIES,
+    NamedAqmFactory,
     bare_pie_factory,
     coupled_factory,
     pi2_factory,
@@ -16,6 +19,8 @@ from repro.harness.factories import (
     pie_factory,
     taildrop_factory,
 )
+from repro.harness.frozen import FrozenResult, freeze_result
+from repro.harness.parallel import SweepTask, execute_tasks, resolve_jobs
 from repro.harness.repeat import (
     MetricEstimate,
     RepeatOutcome,
@@ -88,4 +93,13 @@ __all__ = [
     "coupled_factory",
     "taildrop_factory",
     "FACTORIES",
+    "NamedAqmFactory",
+    "ResultMetrics",
+    "FrozenResult",
+    "freeze_result",
+    "ResultCache",
+    "experiment_cache_key",
+    "SweepTask",
+    "execute_tasks",
+    "resolve_jobs",
 ]

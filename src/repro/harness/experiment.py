@@ -32,7 +32,14 @@ from repro.net.faults import Fault
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
 
-__all__ = ["FlowGroup", "UdpGroup", "Experiment", "ExperimentResult", "run_experiment"]
+__all__ = [
+    "FlowGroup",
+    "UdpGroup",
+    "Experiment",
+    "ResultMetrics",
+    "ExperimentResult",
+    "run_experiment",
+]
 
 #: An AQM factory: receives a dedicated random stream, returns the AQM
 #: (or None for tail-drop).
@@ -165,8 +172,75 @@ class Experiment:
                 )
 
 
-class ExperimentResult:
-    """Read-outs of one completed run."""
+class ResultMetrics:
+    """Derived read-outs shared by live and frozen experiment results.
+
+    Subclasses provide the raw accessors — the sampled series properties
+    (``queue_delay``/``probability``/``utilization``), per-packet
+    :meth:`sojourn_samples`, per-class :meth:`goodputs` and
+    :meth:`class_labels`, plus ``duration``/``warmup`` — and this mixin
+    supplies every metric the figures compute from them.  Keeping the
+    derivations here guarantees a :class:`~repro.harness.frozen.FrozenResult`
+    (what parallel workers return and the result cache stores) answers
+    identically to the live :class:`ExperimentResult` it was frozen from.
+    """
+
+    def sojourn_summary(self, percentiles=(1, 25, 50, 99)) -> Dict[str, float]:
+        return percentile_summary(self.sojourn_samples(), percentiles)
+
+    def balance(self, label_a: str, label_b: str) -> float:
+        return rate_balance_ratio(self.goodputs(label_a), self.goodputs(label_b))
+
+    def total_goodput_bps(self) -> float:
+        return sum(
+            sum(self.goodputs(label)) for label in self.class_labels()
+        )
+
+    def mean_utilization(self) -> float:
+        return self.utilization.mean(self.warmup)
+
+    def utilization_summary(self, percentiles=(1, 99)) -> Dict[str, float]:
+        return percentile_summary(
+            self.utilization.window(self.warmup, float("inf")), percentiles
+        )
+
+    def probability_summary(self, percentiles=(25, 99)) -> Dict[str, float]:
+        return percentile_summary(
+            self.probability.window(self.warmup, float("inf")), percentiles
+        )
+
+    def digest(self) -> Dict[str, object]:
+        """Exact (un-rounded) fingerprint of the run's headline read-outs.
+
+        Two runs of the same seeded experiment must produce equal digests
+        — serial or parallel, live or frozen, cached or fresh.  The perf
+        harness and CI's determinism check compare these.
+        """
+        stats = self.queue_stats
+        return {
+            "queue_delay": [list(map(float, self.queue_delay.times)),
+                            list(map(float, self.queue_delay.values))],
+            "utilization": list(map(float, self.utilization.values)),
+            "probability": list(map(float, self.probability.values)),
+            "sojourn_sum": float(np.sum(self.sojourn_samples(from_warmup=False))),
+            "sojourn_count": int(self.sojourn_samples(from_warmup=False).size),
+            "goodputs": {
+                label: [float(g) for g in self.goodputs(label)]
+                for label in sorted(self.class_labels())
+            },
+            "counters": {
+                "arrived": stats.arrived,
+                "dequeued": stats.dequeued,
+                "aqm_dropped": stats.aqm_dropped,
+                "tail_dropped": stats.tail_dropped,
+                "fault_dropped": stats.fault_dropped,
+                "ce_marked": stats.ce_marked,
+            },
+        }
+
+
+class ExperimentResult(ResultMetrics):
+    """Read-outs of one completed run, backed by the live testbed."""
 
     def __init__(self, experiment: Experiment, bed: Dumbbell):
         self.experiment = experiment
@@ -196,37 +270,12 @@ class ExperimentResult:
         t0 = self.warmup if from_warmup else 0.0
         return self.bed.sojourns.window(t0, float("inf"))
 
-    def sojourn_summary(self, percentiles=(1, 25, 50, 99)) -> Dict[str, float]:
-        return percentile_summary(self.sojourn_samples(), percentiles)
-
     # -- flow rates -----------------------------------------------------------
     def goodputs(self, label: str) -> List[float]:
         return self.bed.goodput_bps(label, self.duration)
 
     def class_labels(self) -> List[str]:
         return self.bed.flows.labels()
-
-    def balance(self, label_a: str, label_b: str) -> float:
-        return rate_balance_ratio(self.goodputs(label_a), self.goodputs(label_b))
-
-    def total_goodput_bps(self) -> float:
-        return sum(
-            sum(self.goodputs(label)) for label in self.class_labels()
-        )
-
-    # -- aggregates -----------------------------------------------------------
-    def mean_utilization(self) -> float:
-        return self.utilization.mean(self.warmup)
-
-    def utilization_summary(self, percentiles=(1, 99)) -> Dict[str, float]:
-        return percentile_summary(
-            self.utilization.window(self.warmup, float("inf")), percentiles
-        )
-
-    def probability_summary(self, percentiles=(25, 99)) -> Dict[str, float]:
-        return percentile_summary(
-            self.probability.window(self.warmup, float("inf")), percentiles
-        )
 
     @property
     def queue_stats(self):
@@ -248,6 +297,12 @@ class ExperimentResult:
         """Number of periodic invariant passes that ran (0 = validation off)."""
         checker = self.bed.invariant_checker
         return checker.checks_run if checker is not None else 0
+
+    def freeze(self) -> "FrozenResult":
+        """Detach a picklable snapshot (see :mod:`repro.harness.frozen`)."""
+        from repro.harness.frozen import freeze_result
+
+        return freeze_result(self)
 
 
 def run_experiment(experiment: Experiment) -> ExperimentResult:

@@ -69,7 +69,24 @@ def _gm(m):
     return float("nan") if m.gain_margin_db is None else m.gain_margin_db
 
 
-def fig04(scale: float = 1.0) -> FigureData:
+def _run_one(exp, cache=None):
+    """Run a single figure experiment, optionally through the result cache.
+
+    With a cache the run is routed through the sweep executor so the
+    figure's cells are stored/reused exactly like grid cells (and the
+    returned object is a frozen result — same metric API).
+    """
+    if cache is None:
+        return run_experiment(exp)
+    from repro.harness.parallel import SweepTask, execute_tasks
+
+    (result, _failure), = execute_tasks(
+        [SweepTask("figure run", exp)], jobs=1, cache=cache
+    )
+    return result
+
+
+def fig04(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
     """Bode gain margins for PI on Reno: auto vs fixed tunes."""
     rows = []
     for p in (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 0.5, 1.0):
@@ -87,7 +104,7 @@ def fig04(scale: float = 1.0) -> FigureData:
     )
 
 
-def fig05(scale: float = 1.0) -> FigureData:
+def fig05(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
     """PIE's stepped tune factor vs the analytic √(2p)."""
     rows = [(p, t, s) for p, t, s in tune_table_rows(points_per_decade=2)]
     return FigureData(
@@ -96,7 +113,7 @@ def fig05(scale: float = 1.0) -> FigureData:
     )
 
 
-def fig07(scale: float = 1.0) -> FigureData:
+def fig07(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
     """Bode margins for reno-PIE / reno-PI2 / scal-PI."""
     rows = []
     for pp in (0.001, 0.01, 0.1, 0.3, 0.6, 1.0):
@@ -127,7 +144,7 @@ def _stage_rows(results, stage, flows):
     return rows
 
 
-def fig06(scale: float = 1.0) -> FigureData:
+def fig06(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
     """Un-tuned PI vs PI2 under varying intensity at 100 Mb/s, 10 ms."""
     stage = 8.0 * scale
     results = {}
@@ -135,7 +152,7 @@ def fig06(scale: float = 1.0) -> FigureData:
         exp = varying_intensity(factory, capacity_bps=100 * MBPS, rtt=0.010,
                                 stage=stage)
         exp.sample_period = 0.1
-        results[name] = run_experiment(exp)
+        results[name] = _run_one(exp, cache)
     return FigureData(
         "Figure 6", ["aqm", "stage", "q mean [ms]", "q peak [ms]"],
         _stage_rows(results, stage, [10, 30, 50, 30, 10]),
@@ -143,7 +160,7 @@ def fig06(scale: float = 1.0) -> FigureData:
     )
 
 
-def fig11(scale: float = 1.0) -> FigureData:
+def fig11(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
     """Queue delay and throughput under three traffic loads."""
     duration = 30.0 * scale
     rows = []
@@ -152,7 +169,7 @@ def fig11(scale: float = 1.0) -> FigureData:
     }
     for label, scenario in scenarios.items():
         for name, factory in (("pie", pie_factory()), ("pi2", pi2_factory())):
-            r = run_experiment(scenario(factory, duration=duration))
+            r = _run_one(scenario(factory, duration=duration), cache)
             soj = r.sojourn_samples()
             rows.append(
                 (label, name, float(np.mean(soj)) * 1e3,
@@ -165,14 +182,14 @@ def fig11(scale: float = 1.0) -> FigureData:
     )
 
 
-def fig12(scale: float = 1.0) -> FigureData:
+def fig12(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
     """Queue delay through capacity steps 100:20:100 Mb/s."""
     stage = 15.0 * scale
     rows = []
     for name, factory in (("pie", pie_factory()), ("pi2", pi2_factory())):
         exp = varying_capacity(factory, stage=stage)
         exp.sample_period = 0.1
-        r = run_experiment(exp)
+        r = _run_one(exp, cache)
         rows.append(
             (name,
              r.queue_delay.max(stage, stage + 5.0) * 1e3,
@@ -185,7 +202,7 @@ def fig12(scale: float = 1.0) -> FigureData:
     )
 
 
-def fig13(scale: float = 1.0) -> FigureData:
+def fig13(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
     """Varying intensity at 10 Mb/s, 100 ms RTT: PIE vs PI2."""
     stage = 12.0 * scale
     results = {}
@@ -193,7 +210,7 @@ def fig13(scale: float = 1.0) -> FigureData:
         exp = varying_intensity(factory, capacity_bps=10 * MBPS, rtt=0.100,
                                 stage=stage)
         exp.sample_period = 0.1
-        results[name] = run_experiment(exp)
+        results[name] = _run_one(exp, cache)
     return FigureData(
         "Figure 13", ["aqm", "stage", "q mean [ms]", "q peak [ms]"],
         _stage_rows(results, stage, [10, 30, 50, 30, 10]),
@@ -201,14 +218,15 @@ def fig13(scale: float = 1.0) -> FigureData:
     )
 
 
-def fig19(scale: float = 1.0) -> FigureData:
+def fig19(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
     """Rate balance across flow-count mixes at 40 Mb/s, 10 ms."""
     duration = 25.0 * scale
     mixes = ((1, 1), (1, 9), (5, 5), (9, 1))
     rows = []
     for name, factory in (("pie", pie_factory()), ("pi2", coupled_factory())):
         sweeps = run_mix_sweep(factory, mixes=mixes, duration=duration,
-                               warmup=min(10.0, duration / 2))
+                               warmup=min(10.0, duration / 2),
+                               jobs=jobs, cache=cache)
         for (n_a, n_b), result in sweeps.items():
             rows.append(
                 (name, f"A{n_a}-B{n_b}", result.balance("dctcp", "cubic"))
@@ -219,7 +237,7 @@ def fig19(scale: float = 1.0) -> FigureData:
     )
 
 
-def fig14(scale: float = 1.0) -> FigureData:
+def fig14(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
     """Queue-delay distribution summary at 5 ms and 20 ms targets."""
     from repro.harness.experiment import Experiment, FlowGroup
 
@@ -230,7 +248,7 @@ def fig14(scale: float = 1.0) -> FigureData:
             ("pie", lambda t: pie_factory(target_delay=t)),
             ("pi2", lambda t: pi2_factory(target_delay=t)),
         ):
-            r = run_experiment(
+            r = _run_one(
                 Experiment(
                     capacity_bps=10 * MBPS,
                     duration=duration,
@@ -252,7 +270,7 @@ def fig14(scale: float = 1.0) -> FigureData:
     )
 
 
-def fig15(scale: float = 1.0) -> FigureData:
+def fig15(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
     """Rate balance on a reduced 3×3 coexistence grid.
 
     The full 5×5 grid with per-cell convergence budgeting lives in the
@@ -266,6 +284,7 @@ def fig15(scale: float = 1.0) -> FigureData:
         cells = run_coexistence_grid(
             factory, links_mbps=(4, 40), rtts_ms=(10, 50),
             duration=duration, warmup=min(8.0, duration / 2),
+            jobs=jobs, cache=cache,
         )
         for cell in cells:
             rows.append(
@@ -294,10 +313,18 @@ FIGURES: Dict[str, Callable[..., FigureData]] = {
 }
 
 
-def generate_figure(name: str, scale: float = 1.0) -> FigureData:
-    """Generate one figure's data by registry name."""
+def generate_figure(
+    name: str, scale: float = 1.0, jobs=None, cache=None
+) -> FigureData:
+    """Generate one figure's data by registry name.
+
+    ``jobs`` parallelises grid/mix-based figures over a process pool;
+    ``cache`` (a :class:`~repro.harness.cache.ResultCache`) reuses
+    already-simulated runs across invocations.  Figures that are pure
+    analysis (fig04/05/07) ignore both.
+    """
     if name not in FIGURES:
         raise ValueError(f"unknown figure {name!r}; choose from {sorted(FIGURES)}")
     if scale <= 0:
         raise ValueError(f"scale must be positive (got {scale})")
-    return FIGURES[name](scale=scale)
+    return FIGURES[name](scale=scale, jobs=jobs, cache=cache)

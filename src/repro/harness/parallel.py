@@ -1,0 +1,188 @@
+"""Process-pool execution of experiment sweeps.
+
+The paper's figures are grids — 25 link×RTT cells per AQM (Figures
+15–18), 14 flow mixes (Figures 19–20), five seeds per repetition — and
+every cell is an independent seeded simulation.  This module fans those
+cells out over a :mod:`multiprocessing` pool while keeping the one
+property the whole repository is built on: **bit-exact determinism**.
+
+How determinism is preserved
+----------------------------
+* Each cell's :class:`~repro.harness.experiment.Experiment` (including
+  its seed) is constructed *in the parent*, exactly as the serial loop
+  would, and shipped whole to a worker — a worker never derives
+  configuration.
+* Workers return frozen results (:mod:`repro.harness.frozen`); the
+  parent reassembles them **in submission order**, so the outcome list is
+  indistinguishable from the serial loop's.
+* A simulation's randomness comes only from its seeded streams, never
+  from which process or core ran it.
+
+The unit of work is a :class:`SweepTask`; :func:`execute_tasks` is the
+single entry point the grid/mix/repeat runners share.  It also folds in
+the optional on-disk result cache (:mod:`repro.harness.cache`): hits skip
+the pool entirely, misses are simulated and stored.
+
+Experiments built from the named factories in
+:mod:`repro.harness.factories` are picklable; hand-rolled lambda
+factories are not, and are rejected with a pointer at the fix rather than
+a bare :class:`pickle.PicklingError` from deep inside the pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError, ParallelExecutionError
+from repro.harness.cache import ResultCache
+from repro.harness.experiment import Experiment, run_experiment
+from repro.harness.frozen import FrozenResult, freeze_result
+from repro.harness.resilience import RunFailure, run_with_retries
+
+__all__ = [
+    "SweepTask",
+    "TaskResult",
+    "resolve_jobs",
+    "execute_tasks",
+]
+
+#: What execute_tasks yields per task: exactly one side is non-None.
+TaskResult = Tuple[Optional[FrozenResult], Optional[RunFailure]]
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One independent cell of a sweep: a label for reports + its config."""
+
+    label: str
+    experiment: Experiment
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: None/0 → one worker per CPU."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ConfigError(f"jobs must be positive or 0/None for auto (got {jobs})")
+    return jobs
+
+
+def _start_method() -> str:
+    """Prefer fork (fast, inherits sys.path — test-defined factories
+    pickle by reference); fall back to the platform default elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
+def _run_payload(payload) -> TaskResult:
+    """Worker body: simulate one cell, freeze the outcome.
+
+    Runs in a pool process (but is equally callable in-process).  Always
+    returns instead of raising — exceptions would otherwise tear down the
+    whole pool map and lose every sibling cell's work; the parent decides
+    whether a failure is fatal based on ``on_error``.
+    """
+    experiment, label, on_error, max_retries = payload
+    if on_error == "capture":
+        result, failure = run_with_retries(
+            experiment, label=label, max_retries=max_retries
+        )
+        return (freeze_result(result) if result is not None else None, failure)
+    try:
+        return freeze_result(run_experiment(experiment)), None
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception as exc:
+        return None, RunFailure(
+            label=label,
+            seeds_tried=(experiment.seed,),
+            error_type=type(exc).__name__,
+            error=str(exc),
+            sim_time=getattr(exc, "sim_time", None),
+            component=getattr(exc, "component", None),
+        )
+
+
+def _check_picklable(tasks: Sequence[SweepTask]) -> None:
+    for task in tasks:
+        try:
+            pickle.dumps(task.experiment)
+        except Exception as exc:
+            raise ConfigError(
+                f"experiment for {task.label!r} cannot be pickled for parallel "
+                f"execution ({type(exc).__name__}: {exc}); use the named AQM "
+                f"factories from repro.harness.factories (picklable) or run "
+                f"with jobs=1"
+            ) from exc
+
+
+def execute_tasks(
+    tasks: Sequence[SweepTask],
+    *,
+    jobs: Optional[int] = None,
+    on_error: str = "raise",
+    max_retries: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[TaskResult]:
+    """Run every task, in parallel when asked, through the cache when given.
+
+    Returns one ``(frozen_result, failure)`` pair per task **in task
+    order** regardless of completion order.  With ``on_error="raise"``
+    the first failing task (again in task order, matching the serial
+    loop's behaviour) raises :class:`~repro.errors.ParallelExecutionError`
+    carrying the worker-side context; with ``"capture"`` failures come
+    back as :class:`~repro.harness.resilience.RunFailure` entries.
+    """
+    if on_error not in ("raise", "capture"):
+        raise ValueError(f"on_error must be 'raise' or 'capture' (got {on_error!r})")
+    n_jobs = resolve_jobs(jobs)
+    out: List[Optional[TaskResult]] = [None] * len(tasks)
+    keys: List[Optional[str]] = [None] * len(tasks)
+
+    pending: List[int] = []
+    for index, task in enumerate(tasks):
+        if cache is not None:
+            key = cache.key_for(task.experiment)
+            keys[index] = key
+            if key is not None:
+                hit = cache.get(key)
+                if hit is not None:
+                    out[index] = (hit, None)
+                    continue
+        pending.append(index)
+
+    if pending:
+        payloads = [
+            (tasks[i].experiment, tasks[i].label, on_error, max_retries)
+            for i in pending
+        ]
+        if n_jobs > 1 and len(pending) > 1:
+            _check_picklable([tasks[i] for i in pending])
+            ctx = multiprocessing.get_context(_start_method())
+            with ctx.Pool(processes=min(n_jobs, len(pending))) as pool:
+                fresh = pool.map(_run_payload, payloads, chunksize=1)
+        else:
+            fresh = [_run_payload(payload) for payload in payloads]
+        for index, task_result in zip(pending, fresh):
+            out[index] = task_result
+            result, _failure = task_result
+            if cache is not None and result is not None and keys[index] is not None:
+                cache.put(keys[index], result)
+
+    if on_error == "raise":
+        for task_result in out:
+            failure = task_result[1]
+            if failure is not None:
+                raise ParallelExecutionError(
+                    f"sweep cell failed: {failure}",
+                    label=failure.label,
+                    error_type=failure.error_type,
+                    sim_time=failure.sim_time,
+                    component=failure.component,
+                )
+    # Every slot was filled above (cache hit, fresh run, or failure record).
+    return out  # type: ignore[return-value]

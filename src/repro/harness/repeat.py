@@ -98,6 +98,8 @@ def repeat_experiment(
     seeds: Sequence[int] = (1, 2, 3, 4, 5),
     on_error: str = "raise",
     max_retries: int = 1,
+    jobs=None,
+    cache=None,
 ) -> RepeatOutcome:
     """Run the experiment once per seed; estimate each metric.
 
@@ -109,6 +111,14 @@ def repeat_experiment(
     the returned outcome's ``failures`` instead of killing the whole
     repetition; estimates are then built from the surviving seeds (the
     outcome may be empty if every seed failed).
+
+    ``jobs`` runs the seeds concurrently in a process pool and ``cache``
+    reuses already-simulated seeds from disk (see
+    :func:`~repro.harness.sweep.run_coexistence_grid` for the shared
+    semantics).  Metric extractors always run in the parent process, over
+    the frozen results the workers return — so they may be arbitrary
+    (unpicklable) callables, and per-seed numbers are identical to the
+    serial path's.
     """
     if not seeds:
         raise ValueError("at least one seed is required")
@@ -118,20 +128,39 @@ def repeat_experiment(
         raise ValueError(f"on_error must be 'raise' or 'capture' (got {on_error!r})")
     collected: Dict[str, List[float]] = {name: [] for name in metrics}
     outcome = RepeatOutcome()
-    for seed in seeds:
-        if on_error == "raise":
-            result = run_experiment(replace(experiment, seed=seed))
-        else:
-            result, failure = run_with_retries(
-                replace(experiment, seed=seed),
-                label=f"seed {seed}",
-                max_retries=max_retries,
-            )
+
+    if cache is not None or (jobs is not None and jobs != 1):
+        from repro.harness.parallel import SweepTask, execute_tasks
+
+        tasks = [
+            SweepTask(f"seed {seed}", replace(experiment, seed=seed))
+            for seed in seeds
+        ]
+        pairs = execute_tasks(
+            tasks, jobs=jobs, on_error=on_error,
+            max_retries=max_retries, cache=cache,
+        )
+        for (result, failure) in pairs:
             if result is None:
                 outcome.failures.append(failure)
                 continue
-        for name, extract in metrics.items():
-            collected[name].append(float(extract(result)))
+            for name, extract in metrics.items():
+                collected[name].append(float(extract(result)))
+    else:
+        for seed in seeds:
+            if on_error == "raise":
+                result = run_experiment(replace(experiment, seed=seed))
+            else:
+                result, failure = run_with_retries(
+                    replace(experiment, seed=seed),
+                    label=f"seed {seed}",
+                    max_retries=max_retries,
+                )
+                if result is None:
+                    outcome.failures.append(failure)
+                    continue
+            for name, extract in metrics.items():
+                collected[name].append(float(extract(result)))
     outcome.update(
         {
             name: _estimate(samples)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.harness.cache import ResultCache
 from repro.harness.experiment import AqmFactory, ExperimentResult
 from repro.harness.resilience import (
     RunFailure,
@@ -99,6 +100,8 @@ def run_coexistence_grid(
     duration_for: Optional[Callable[[float, float], float]] = None,
     on_error: str = "raise",
     max_retries: int = 1,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> GridOutcome:
     """Run the Figure 15–18 grid; one long-running flow per class per cell.
 
@@ -112,12 +115,21 @@ def run_coexistence_grid(
     :class:`~repro.harness.resilience.RunFailure` on the returned
     outcome's ``failures`` and moves on to the next cell, so a 25-cell
     sweep never dies on cell 23.
+
+    ``jobs`` fans the cells out over a process pool (``0``/``None``-vs-int
+    semantics per :func:`~repro.harness.parallel.resolve_jobs`; ``None``
+    keeps the serial path) and ``cache`` consults/fills an on-disk result
+    cache.  Either option makes the cells' results come back as
+    :class:`~repro.harness.frozen.FrozenResult` snapshots — same metric
+    API, same numbers, but detached from the live testbed.  Cell seeds and
+    ordering are identical to the serial path, so a fixed seed gives
+    bit-identical outcomes at any ``jobs``.
     """
     from repro.harness.experiment import run_experiment
 
     if on_error not in ("raise", "capture"):
         raise ValueError(f"on_error must be 'raise' or 'capture' (got {on_error!r})")
-    outcome = GridOutcome()
+    cells = []
     for link in links_mbps:
         for rtt in rtts_ms:
             d = duration if duration_for is None else duration_for(link, rtt)
@@ -131,17 +143,39 @@ def run_coexistence_grid(
                 warmup=min(warmup, d / 2),
                 seed=seed,
             )
-            if on_error == "raise":
-                outcome.append(GridCell(link, rtt, run_experiment(exp)))
-                continue
-            result, failure = run_with_retries(
-                exp, label=f"cell link={link}Mb/s rtt={rtt}ms",
-                max_retries=max_retries,
-            )
+            cells.append((link, rtt, exp))
+
+    outcome = GridOutcome()
+    if cache is not None or (jobs is not None and jobs != 1):
+        from repro.harness.parallel import SweepTask, execute_tasks
+
+        tasks = [
+            SweepTask(f"cell link={link}Mb/s rtt={rtt}ms", exp)
+            for link, rtt, exp in cells
+        ]
+        pairs = execute_tasks(
+            tasks, jobs=jobs, on_error=on_error,
+            max_retries=max_retries, cache=cache,
+        )
+        for (link, rtt, _exp), (result, failure) in zip(cells, pairs):
             if result is not None:
                 outcome.append(GridCell(link, rtt, result))
             else:
                 outcome.failures.append(failure)
+        return outcome
+
+    for link, rtt, exp in cells:
+        if on_error == "raise":
+            outcome.append(GridCell(link, rtt, run_experiment(exp)))
+            continue
+        result, failure = run_with_retries(
+            exp, label=f"cell link={link}Mb/s rtt={rtt}ms",
+            max_retries=max_retries,
+        )
+        if result is not None:
+            outcome.append(GridCell(link, rtt, result))
+        else:
+            outcome.failures.append(failure)
     return outcome
 
 
@@ -157,18 +191,24 @@ def run_mix_sweep(
     seed: int = 1,
     on_error: str = "raise",
     max_retries: int = 1,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[Tuple[int, int], ExperimentResult]:
     """Run the Figure 19–20 flow-mix sweep at one operating point.
 
     With ``on_error="capture"``, failing mixes are retried on bumped
     seeds and then skipped; the returned dict gains a ``failures``
     attribute (a :class:`~repro.harness.resilience.RunFailure` list).
+
+    ``jobs``/``cache`` behave as in :func:`run_coexistence_grid`:
+    process-pool fan-out and/or on-disk result caching, with frozen
+    results and unchanged per-mix seeds and ordering.
     """
     from repro.harness.experiment import run_experiment
 
     if on_error not in ("raise", "capture"):
         raise ValueError(f"on_error must be 'raise' or 'capture' (got {on_error!r})")
-    results = _MixResults()
+    entries = []
     for n_a, n_b in mixes:
         exp = coexistence_mix(
             aqm_factory,
@@ -182,6 +222,28 @@ def run_mix_sweep(
             warmup=warmup,
             seed=seed,
         )
+        entries.append((n_a, n_b, exp))
+
+    results = _MixResults()
+    if cache is not None or (jobs is not None and jobs != 1):
+        from repro.harness.parallel import SweepTask, execute_tasks
+
+        tasks = [
+            SweepTask(f"mix {cc_a}x{n_a} vs {cc_b}x{n_b}", exp)
+            for n_a, n_b, exp in entries
+        ]
+        pairs = execute_tasks(
+            tasks, jobs=jobs, on_error=on_error,
+            max_retries=max_retries, cache=cache,
+        )
+        for (n_a, n_b, _exp), (result, failure) in zip(entries, pairs):
+            if result is not None:
+                results[(n_a, n_b)] = result
+            else:
+                results.failures.append(failure)
+        return results
+
+    for n_a, n_b, exp in entries:
         if on_error == "raise":
             results[(n_a, n_b)] = run_experiment(exp)
             continue

@@ -12,7 +12,7 @@ Thin, allocation-friendly recorders used throughout the harness:
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -22,33 +22,65 @@ __all__ = ["TimeSeries", "Sampler"]
 
 
 class TimeSeries:
-    """Append-only series of (time, value) points with numpy export."""
+    """Append-only series of (time, value) points with numpy export.
+
+    The numpy views returned by :attr:`times`/:attr:`values` are built
+    lazily and cached — figure and summary code calls ``window``/``mean``/
+    ``percentile`` many times over the same finished series, and
+    rebuilding a fresh array per access dominated those paths.  The cache
+    is invalidated on :meth:`append`; treat the returned arrays as
+    read-only snapshots.
+    """
+
+    __slots__ = ("name", "_t", "_v", "_t_arr", "_v_arr")
 
     def __init__(self, name: str = ""):
         self.name = name
         self._t: List[float] = []
         self._v: List[float] = []
+        self._t_arr: Optional[np.ndarray] = None
+        self._v_arr: Optional[np.ndarray] = None
 
     def append(self, t: float, value: float) -> None:
         self._t.append(t)
         self._v.append(value)
+        self._t_arr = None
+        self._v_arr = None
 
     def __len__(self) -> int:
         return len(self._t)
 
     @property
     def times(self) -> np.ndarray:
-        return np.asarray(self._t)
+        arr = self._t_arr
+        if arr is None:
+            arr = self._t_arr = np.asarray(self._t)
+        return arr
 
     @property
     def values(self) -> np.ndarray:
-        return np.asarray(self._v)
+        arr = self._v_arr
+        if arr is None:
+            arr = self._v_arr = np.asarray(self._v)
+        return arr
 
     def window(self, t_from: float, t_to: float) -> np.ndarray:
         """Values with t_from <= t < t_to."""
         t = self.times
         mask = (t >= t_from) & (t < t_to)
         return self.values[mask]
+
+    # The cached arrays are derived state; keep pickles (result cache,
+    # process-pool transfer) lean by rebuilding them on demand instead.
+    def __getstate__(self):
+        return {"name": self.name, "t": self._t, "v": self._v}
+
+    def __setstate__(self, state) -> None:
+        self.name = state["name"]
+        self._t = state["t"]
+        self._v = state["v"]
+        self._t_arr = None
+        self._v_arr = None
 
     def mean(self, t_from: float = 0.0, t_to: float = float("inf")) -> float:
         vals = self.window(t_from, t_to)

@@ -1,0 +1,296 @@
+"""Benchmark harness: events/sec, figure wall-clock, speedup, cache.
+
+Four layers, each answering one question:
+
+* :func:`bench_engine_events` — how fast is the bare event loop?
+  (schedule/fire churn with trivial callbacks; pure engine overhead)
+* :func:`bench_cancel_churn` — does lazy cancellation stay cheap under
+  timer re-arming, i.e. does heap compaction do its job?
+* :func:`bench_experiment` — how many *simulation* events per second
+  does a realistic scenario sustain, TCP + AQM + recorders included?
+* :func:`bench_grid` — what does a paper grid (Figures 15–18 shaped)
+  cost wall-clock: serial, parallel (``jobs``), cold cache, warm cache?
+
+:func:`run_benchmarks` bundles them into one JSON-able payload and
+:func:`write_bench_json` emits ``BENCH_<date>.json``, the artifact CI
+uploads and ``docs/PERFORMANCE.md`` explains how to read.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.harness.cache import ResultCache
+from repro.harness.factories import coupled_factory, pi2_factory
+from repro.harness.scenarios import light_tcp
+from repro.harness.sweep import run_coexistence_grid
+from repro.sim.engine import Simulator
+
+__all__ = [
+    "BenchRecord",
+    "bench_engine_events",
+    "bench_cancel_churn",
+    "bench_experiment",
+    "bench_grid",
+    "run_benchmarks",
+    "write_bench_json",
+    "format_bench_table",
+]
+
+#: Tiny Figures-15–18-shaped grid used by the quick/smoke benchmarks.
+QUICK_GRID = {"links_mbps": (4, 12), "rtts_ms": (5, 10), "duration": 5.0, "warmup": 2.0}
+#: Fuller grid for `--full` runs on real hardware.
+FULL_GRID = {
+    "links_mbps": (4, 12, 40),
+    "rtts_ms": (5, 10, 20),
+    "duration": 15.0,
+    "warmup": 6.0,
+}
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark's outcome: wall-clock plus whatever it counted."""
+
+    name: str
+    wall_seconds: float
+    events: int = 0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+        }
+        if self.events:
+            payload["events"] = self.events
+            payload["events_per_sec"] = self.events_per_sec
+        payload.update(self.extra)
+        return payload
+
+
+def bench_engine_events(n_events: int = 200_000) -> BenchRecord:
+    """Raw event-loop throughput: one self-rescheduling timer chain."""
+    sim = Simulator()
+    remaining = [n_events]
+
+    def tick():
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.001, tick)
+    start = time.perf_counter()
+    sim.run(until=n_events)  # far beyond the last event's timestamp
+    wall = time.perf_counter() - start
+    return BenchRecord("engine_events", wall, events=sim.events_processed)
+
+
+def bench_cancel_churn(n_events: int = 100_000) -> BenchRecord:
+    """Timer re-arm churn: every firing cancels a pending event and arms
+    two more, the way TCP retransmission timers behave under ACK clocking.
+    Exercises lazy deletion + threshold compaction; the compaction count
+    and peak heap size come back in ``extra``."""
+    sim = Simulator()
+    state = {"fired": 0, "pending": None, "peak_heap": 0}
+
+    def tick():
+        state["fired"] += 1
+        if state["pending"] is not None:
+            state["pending"].cancel()
+        if state["fired"] < n_events:
+            # The event armed here is immediately superseded on the next
+            # tick — exactly the re-arm pattern that used to accumulate.
+            state["pending"] = sim.schedule(10.0, tick)
+            sim.schedule(0.001, tick)
+        state["peak_heap"] = max(state["peak_heap"], sim.pending_events)
+
+    sim.schedule(0.001, tick)
+    start = time.perf_counter()
+    sim.run(until=n_events)
+    wall = time.perf_counter() - start
+    return BenchRecord(
+        "cancel_churn",
+        wall,
+        events=sim.events_processed,
+        extra={
+            "compactions": sim.compactions,
+            "peak_heap": state["peak_heap"],
+            "cancelled_pending_final": sim.cancelled_pending,
+        },
+    )
+
+
+def bench_experiment(duration: float = 10.0, seed: int = 1) -> BenchRecord:
+    """End-to-end simulation throughput on the paper's light-TCP scenario."""
+    from repro.harness.experiment import run_experiment
+
+    exp = light_tcp(pi2_factory(), duration=duration, seed=seed)
+    start = time.perf_counter()
+    result = run_experiment(exp)
+    wall = time.perf_counter() - start
+    return BenchRecord(
+        "experiment_light_tcp",
+        wall,
+        events=result.bed.sim.events_processed,
+        extra={"sim_seconds": duration, "sim_seconds_per_wall": duration / wall},
+    )
+
+
+def bench_grid(
+    jobs: Optional[int] = None,
+    grid: Optional[dict] = None,
+    seed: int = 1,
+) -> List[BenchRecord]:
+    """Wall-clock a Figures-15–18-shaped grid four ways.
+
+    Serial, parallel (``jobs``; 0/None = one worker per CPU), cold cache
+    and warm cache — the speedup and cache-hit numbers land in ``extra``.
+    The determinism cross-check (serial digests == parallel digests) is
+    performed here too, so every benchmark run doubles as a regression
+    test of the parallel executor.
+    """
+    params = dict(grid or QUICK_GRID)
+    records: List[BenchRecord] = []
+
+    start = time.perf_counter()
+    serial = run_coexistence_grid(coupled_factory(), seed=seed, **params)
+    serial_wall = time.perf_counter() - start
+    records.append(
+        BenchRecord("grid_serial", serial_wall, extra={"cells": len(serial)})
+    )
+
+    start = time.perf_counter()
+    parallel = run_coexistence_grid(
+        coupled_factory(), seed=seed, jobs=jobs or 0, **params
+    )
+    parallel_wall = time.perf_counter() - start
+    digests_equal = all(
+        a.result.digest() == b.result.digest() for a, b in zip(serial, parallel)
+    )
+    records.append(
+        BenchRecord(
+            "grid_parallel",
+            parallel_wall,
+            extra={
+                "jobs": jobs or (os.cpu_count() or 1),
+                "speedup_vs_serial": serial_wall / parallel_wall
+                if parallel_wall > 0
+                else 0.0,
+                "matches_serial": digests_equal,
+            },
+        )
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+        cache = ResultCache(cache_dir)
+        start = time.perf_counter()
+        cold = run_coexistence_grid(
+            coupled_factory(), seed=seed, cache=cache, **params
+        )
+        cold_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = run_coexistence_grid(
+            coupled_factory(), seed=seed, cache=cache, **params
+        )
+        warm_wall = time.perf_counter() - start
+        cached_equal = all(
+            a.result.digest() == b.result.digest() for a, b in zip(cold, warm)
+        )
+        records.append(
+            BenchRecord(
+                "grid_cache_cold", cold_wall, extra={"stores": cache.stats.stores}
+            )
+        )
+        records.append(
+            BenchRecord(
+                "grid_cache_warm",
+                warm_wall,
+                extra={
+                    "hits": cache.stats.hits,
+                    "speedup_vs_cold": cold_wall / warm_wall if warm_wall > 0 else 0.0,
+                    "matches_cold": cached_equal,
+                },
+            )
+        )
+    return records
+
+
+def run_benchmarks(
+    quick: bool = True,
+    jobs: Optional[int] = None,
+    seed: int = 1,
+) -> Dict[str, object]:
+    """Run the full benchmark set; returns the JSON-able payload."""
+    scale = 1 if quick else 4
+    records = [
+        bench_engine_events(50_000 * scale),
+        bench_cancel_churn(25_000 * scale),
+        bench_experiment(duration=5.0 * scale, seed=seed),
+    ]
+    records.extend(
+        bench_grid(jobs=jobs, grid=QUICK_GRID if quick else FULL_GRID, seed=seed)
+    )
+    return {
+        "schema": 1,
+        "date": datetime.date.today().isoformat(),
+        "quick": quick,
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "benchmarks": [record.to_dict() for record in records],
+    }
+
+
+def write_bench_json(payload: Dict[str, object], output=None) -> Path:
+    """Write the payload as ``BENCH_<date>.json`` (or to ``output``)."""
+    if output is None:
+        output = f"BENCH_{payload.get('date', datetime.date.today().isoformat())}.json"
+    path = Path(output)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def format_bench_table(payload: Dict[str, object]) -> str:
+    """Human-readable summary of a benchmark payload."""
+    from repro.harness.sweep import format_table
+
+    rows = []
+    for bench in payload["benchmarks"]:
+        note_parts = []
+        for key in ("speedup_vs_serial", "speedup_vs_cold"):
+            if key in bench:
+                note_parts.append(f"{key.split('_vs_')[-1]}×{bench[key]:.2f}")
+        for key in ("matches_serial", "matches_cold"):
+            if key in bench and not bench[key]:
+                note_parts.append("MISMATCH!")
+        rows.append(
+            (
+                bench["name"],
+                bench["wall_seconds"],
+                bench.get("events_per_sec", ""),
+                " ".join(note_parts),
+            )
+        )
+    host = payload["host"]
+    return format_table(
+        ["benchmark", "wall [s]", "events/s", "notes"],
+        rows,
+        title=f"repro bench {payload['date']} "
+        f"(python {host['python']}, {host['cpus']} cpu)",
+    )

@@ -1,0 +1,39 @@
+"""cProfile helpers: find the next hot spot without writing boilerplate.
+
+``python -m repro bench --profile`` uses :func:`profile_experiment` to
+print where a representative simulation spends its time; the same helpers
+are importable for profiling any callable or experiment from a script.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Callable, Tuple
+
+__all__ = ["profile_callable", "profile_experiment"]
+
+
+def profile_callable(
+    fn: Callable[[], object], top: int = 25, sort: str = "cumulative"
+) -> Tuple[object, str]:
+    """Run ``fn()`` under cProfile; returns ``(fn's result, report text)``."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+    return result, buffer.getvalue()
+
+
+def profile_experiment(experiment, top: int = 25) -> str:
+    """Profile one experiment run; returns the report text."""
+    from repro.harness.experiment import run_experiment
+
+    _result, report = profile_callable(lambda: run_experiment(experiment), top=top)
+    return report

@@ -10,7 +10,20 @@ Determinism
 -----------
 Events scheduled for the same timestamp fire in scheduling order (a
 monotonic sequence number breaks ties), so a simulation with a fixed seed
-is exactly reproducible run-to-run and platform-to-platform.
+is exactly reproducible run-to-run and platform-to-platform.  Heap
+compaction (below) only ever removes cancelled events and re-heapifies;
+the (time, seq) total order means the pop sequence is unchanged, so
+compaction never perturbs results.
+
+Cancelled events
+----------------
+Cancellation is lazy: a cancelled event stays in the heap and is skipped
+when popped.  Workloads that re-arm timers constantly (every TCP ACK
+cancels and reschedules the retransmission timer) can accumulate large
+numbers of dead entries, inflating every push/pop.  The simulator counts
+cancellations and compacts the heap in place once the dead fraction
+crosses a threshold, keeping heap operations proportional to *live*
+events.
 
 Example
 -------
@@ -43,18 +56,30 @@ class Event:
     the standard lazy-deletion scheme and keeps cancellation O(1).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: "Optional[Simulator]" = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.sim = sim
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.sim is not None:
+            self.sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -115,11 +140,18 @@ class Simulator:
     within double precision.
     """
 
+    #: Minimum number of pending cancelled events before a compaction is
+    #: considered.  Below this the dead weight is negligible and the scan
+    #: would cost more than it saves.
+    COMPACT_THRESHOLD = 1024
+
     def __init__(self, start_time: float = 0.0):
         self.now: float = start_time
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._cancelled_pending = 0
+        self._compactions = 0
         self._running = False
         self._watchdog: Optional[Watchdog] = None
 
@@ -158,9 +190,40 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at t={time} before current time {self.now}"
             )
-        ev = Event(time, next(self._seq), fn, args)
+        ev = Event(time, next(self._seq), fn, args, sim=self)
         heapq.heappush(self._heap, ev)
         return ev
+
+    # ------------------------------------------------------------------
+    # Cancelled-event accounting
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel`; triggers compaction past the
+        threshold once dead entries outnumber live ones."""
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending >= self.COMPACT_THRESHOLD
+            and self._cancelled_pending * 2 >= len(self._heap)
+        ):
+            self.compact()
+
+    def compact(self) -> int:
+        """Drop cancelled events from the heap; returns how many were removed.
+
+        The heap list is mutated in place (``run`` holds a local reference
+        to it), and re-heapified.  Safe to call at any time, including from
+        inside an event callback; pop order is unaffected because events
+        are totally ordered by (time, seq).
+        """
+        heap = self._heap
+        before = len(heap)
+        heap[:] = [ev for ev in heap if not ev.cancelled]
+        removed = before - len(heap)
+        if removed:
+            heapq.heapify(heap)
+            self._compactions += 1
+        self._cancelled_pending = 0
+        return removed
 
     def every(
         self,
@@ -207,40 +270,74 @@ class Simulator:
         wall_limit = watchdog.max_wall_seconds if watchdog is not None else None
         wall_start = time.monotonic() if wall_limit is not None else 0.0
         self._running = True
+        # Hot loop: the engine spends essentially all of a simulation here,
+        # so the per-event work is kept to heap ops + the callback itself.
+        # Heap, pop and clock access are bound to locals, the dispatch
+        # wrapper is inlined (one fewer Python frame per event), and the
+        # budget checks are single comparisons that short-circuit when no
+        # watchdog is installed.
         heap = self._heap
+        heappop = heapq.heappop
+        monotonic = time.monotonic
+        stride = Watchdog.WALL_CHECK_STRIDE
+        processed = self._events_processed
+        ev: Optional[Event] = None
         try:
             while heap:
                 ev = heap[0]
-                if ev.time > until:
+                t = ev.time
+                if t > until:
                     break
-                heapq.heappop(heap)
+                heappop(heap)
                 if ev.cancelled:
+                    if self._cancelled_pending > 0:
+                        self._cancelled_pending -= 1
                     continue
-                self.now = ev.time
-                self._dispatch(ev)
-                self._events_processed += 1
-                if event_budget is not None and self._events_processed >= event_budget:
+                self.now = t
+                ev.fn(*ev.args)
+                processed += 1
+                if event_budget is not None and processed >= event_budget:
                     raise WatchdogExceeded(
                         f"event budget of {watchdog.max_events} events exhausted "
                         f"before reaching t={until}",
                         sim_time=self.now,
                         component="Simulator",
-                        context={"events_processed": self._events_processed},
+                        context={"events_processed": processed},
                     )
                 if (
                     wall_limit is not None
-                    and self._events_processed % Watchdog.WALL_CHECK_STRIDE == 0
-                    and time.monotonic() - wall_start > wall_limit
+                    and processed % stride == 0
+                    and monotonic() - wall_start > wall_limit
                 ):
                     raise WatchdogExceeded(
                         f"wall-clock budget of {wall_limit}s exhausted "
                         f"before reaching t={until}",
                         sim_time=self.now,
                         component="Simulator",
-                        context={"wall_seconds": time.monotonic() - wall_start},
+                        context={"wall_seconds": monotonic() - wall_start},
                     )
             self.now = until
+        except SimulationError as exc:
+            # Already structured (watchdog, invariant checker, nested
+            # engine, ...); just fill in the virtual time if the raiser
+            # could not.
+            if exc.sim_time is None and ev is not None:
+                exc.sim_time = ev.time
+            raise
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            name = getattr(ev.fn, "__qualname__", None) or getattr(
+                ev.fn, "__name__", repr(ev.fn)
+            )
+            raise CallbackError(
+                f"event callback {name!r} raised {type(exc).__name__}: {exc}",
+                sim_time=ev.time,
+                callback=name,
+                component="Simulator",
+            ) from exc
         finally:
+            self._events_processed = processed
             self._running = False
 
     def step(self) -> bool:
@@ -253,6 +350,8 @@ class Simulator:
         while heap:
             ev = heapq.heappop(heap)
             if ev.cancelled:
+                if self._cancelled_pending > 0:
+                    self._cancelled_pending -= 1
                 continue
             self.now = ev.time
             self._dispatch(ev)
@@ -285,6 +384,21 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of events still queued (including lazily-cancelled ones)."""
         return len(self._heap)
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Lazily-cancelled events still sitting in the heap.
+
+        An upper bound: events cancelled *after* they fired (or after the
+        heap was already drained of them) are counted until the next
+        compaction resets the tally.
+        """
+        return self._cancelled_pending
+
+    @property
+    def compactions(self) -> int:
+        """Number of heap compactions performed so far."""
+        return self._compactions
 
     @property
     def events_processed(self) -> int:

@@ -1,0 +1,188 @@
+"""On-disk result cache: keying, hit/miss/invalidation, and corruption
+handling.
+
+The safety property is that a cache hit is indistinguishable from a
+re-simulation (``digest()`` equality) and that *any* config change —
+seed, duration, one AQM parameter — changes the key and forces a miss.
+Anything whose configuration cannot be described (lambda factories) is
+uncacheable by design, never silently mis-keyed.
+"""
+
+import pickle
+from dataclasses import replace
+
+from repro.aqm.pi import PiAqm
+from repro.harness.cache import (
+    CacheStats,
+    ResultCache,
+    code_fingerprint,
+    describe_aqm_factory,
+    experiment_cache_key,
+)
+from repro.harness.experiment import Experiment, FlowGroup, run_experiment
+from repro.harness.factories import coupled_factory, pi2_factory
+from repro.harness.frozen import FrozenResult, freeze_result
+from repro.harness.sweep import run_coexistence_grid
+
+
+def _quick_experiment(**overrides):
+    defaults = dict(
+        capacity_bps=10e6,
+        duration=3.0,
+        warmup=1.0,
+        aqm_factory=pi2_factory(),
+        flows=[FlowGroup(cc="reno", count=2, rtt=0.02)],
+    )
+    defaults.update(overrides)
+    return Experiment(**defaults)
+
+
+def _module_level_factory(rng):
+    return PiAqm(rng=rng)
+
+
+class TestFactoryDescription:
+    def test_named_factory_describes_itself(self):
+        description = describe_aqm_factory(pi2_factory())
+        assert "Pi2Aqm" in description or "pi2" in description.lower()
+
+    def test_kwargs_change_the_description(self):
+        assert describe_aqm_factory(pi2_factory()) != describe_aqm_factory(
+            pi2_factory(target_delay=0.05)
+        )
+
+    def test_plain_function_uses_qualname(self):
+        description = describe_aqm_factory(_module_level_factory)
+        assert description.endswith("_module_level_factory")
+
+    def test_lambda_is_undescribable(self):
+        assert describe_aqm_factory(lambda rng: PiAqm(rng=rng)) is None
+
+    def test_closure_is_undescribable(self):
+        hidden = 0.05
+
+        def make(rng):
+            return PiAqm(rng=rng, target_delay=hidden)
+
+        assert describe_aqm_factory(make) is None
+
+
+class TestExperimentKey:
+    def test_same_config_same_key(self):
+        assert experiment_cache_key(_quick_experiment()) == experiment_cache_key(
+            _quick_experiment()
+        )
+
+    def test_every_field_change_changes_key(self):
+        base = _quick_experiment()
+        key = experiment_cache_key(base)
+        variants = [
+            replace(base, seed=99),
+            replace(base, duration=4.0),
+            replace(base, warmup=0.5),
+            replace(base, capacity_bps=12e6),
+            replace(base, sample_period=0.25),
+            _quick_experiment(aqm_factory=pi2_factory(target_delay=0.05)),
+            _quick_experiment(flows=[FlowGroup(cc="reno", count=3, rtt=0.02)]),
+        ]
+        keys = [experiment_cache_key(v) for v in variants]
+        assert key not in keys
+        assert len(set(keys)) == len(keys)  # all variants distinct too
+
+    def test_uncacheable_factory_gives_none(self):
+        exp = _quick_experiment(aqm_factory=lambda rng: PiAqm(rng=rng))
+        assert experiment_cache_key(exp) is None
+
+    def test_code_fingerprint_is_stable_hex(self):
+        fp = code_fingerprint()
+        assert fp == code_fingerprint()
+        assert len(fp) == 64
+        int(fp, 16)  # valid hex
+
+
+class TestResultCacheStore:
+    def test_put_get_round_trip_is_bit_exact(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        exp = _quick_experiment()
+        frozen = freeze_result(run_experiment(exp))
+        key = cache.key_for(exp)
+        cache.put(key, frozen)
+        loaded = cache.get(key)
+        assert isinstance(loaded, FrozenResult)
+        assert loaded.digest() == frozen.digest()
+        assert cache.stats.stores == 1
+        assert cache.stats.hits == 1
+        assert len(cache) == 1
+
+    def test_absent_key_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("0" * 64) is None
+        assert cache.stats == CacheStats(hits=0, misses=1, stores=0)
+
+    def test_corrupt_entry_is_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        assert cache.stats.misses == 1
+        assert not path.exists()
+
+    def test_wrong_type_entry_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "0" * 62
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps({"not": "a FrozenResult"}))
+        assert cache.get(key) is None
+        assert cache.stats.misses == 1
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        exp = _quick_experiment()
+        frozen = freeze_result(run_experiment(exp))
+        cache.put(cache.key_for(exp), frozen)
+        cache.put(cache.key_for(replace(exp, seed=2)), frozen)
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestSweepIntegration:
+    def test_warm_rerun_hits_and_matches(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        kwargs = dict(
+            links_mbps=[10], rtts_ms=[10, 20], duration=3.0, warmup=1.0, seed=3
+        )
+        cold = run_coexistence_grid(coupled_factory(), cache=cache, **kwargs)
+        assert cache.stats.misses == 2
+        assert cache.stats.stores == 2
+        warm = run_coexistence_grid(coupled_factory(), cache=cache, **kwargs)
+        assert cache.stats.hits == 2
+        assert cache.stats.stores == 2  # nothing re-stored
+        assert [c.result.digest() for c in cold] == [
+            c.result.digest() for c in warm
+        ]
+
+    def test_config_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        kwargs = dict(links_mbps=[10], rtts_ms=[10], duration=3.0, warmup=1.0)
+        run_coexistence_grid(coupled_factory(), cache=cache, seed=3, **kwargs)
+        run_coexistence_grid(coupled_factory(), cache=cache, seed=4, **kwargs)
+        # The seed change must re-simulate, not hit.
+        assert cache.stats.hits == 0
+        assert cache.stats.stores == 2
+
+    def test_uncacheable_factory_still_runs(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        outcome = run_coexistence_grid(
+            lambda rng: PiAqm(rng=rng),
+            links_mbps=[10], rtts_ms=[10], duration=3.0, warmup=1.0,
+            cache=cache,
+        )
+        assert len(outcome) == 1
+        assert outcome[0].result.total_goodput_bps() > 0
+        # No key, so nothing was stored or looked up.
+        assert cache.stats == CacheStats(hits=0, misses=0, stores=0)
+        assert len(cache) == 0
