@@ -65,10 +65,12 @@ class AdaptivePiAqm(AQM):
         self.rng = rng or random.Random(0)
 
     def update(self) -> None:
+        """Recompute ``p`` with the gains scaled by ``tune(p)``."""
         scale = max(self.tune_min, min(1.0, self.tuner(self.controller.p)))
         self.controller.update(self.queue.queue_delay(), gain_scale=scale)
 
     def on_enqueue(self, packet: Packet) -> Decision:
+        """Signal the arriving packet with probability ``p`` (mark if ECT)."""
         p = self.controller.p
         if p <= 0.0 or self.rng.random() >= p:
             return Decision.PASS
@@ -78,4 +80,5 @@ class AdaptivePiAqm(AQM):
 
     @property
     def probability(self) -> float:
+        """Currently applied drop/mark probability ``p``."""
         return self.controller.p

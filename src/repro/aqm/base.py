@@ -68,6 +68,7 @@ class AQMStats:
         self.decisions = 0
 
     def record(self, decision: Decision) -> None:
+        """Tally one enqueue-time decision."""
         self.decisions += 1
         if decision is Decision.PASS:
             self.passed += 1

@@ -51,6 +51,7 @@ class CodelAqm(AQM):
         return t + self.interval / math.sqrt(self.count)
 
     def on_dequeue(self, packet: Packet, now: float) -> None:
+        """Run the CoDel state machine on the departing packet's sojourn."""
         sojourn = now - packet.enqueue_time
         if sojourn < self.target:
             self.first_above_time = None
@@ -74,6 +75,11 @@ class CodelAqm(AQM):
             self.drop_next = self._control_law(self.drop_next)
 
     def on_enqueue(self, packet: Packet) -> Decision:
+        """Deliver a pending dequeue-side signal to the next arrival.
+
+        CoDel decides on dequeue but this simulator signals on enqueue
+        (like ``sch_pie``), so the decision is carried over one packet.
+        """
         if not self._signal_pending:
             return Decision.PASS
         self._signal_pending = False

@@ -61,6 +61,7 @@ class CurvyRedAqm(AQM):
         return min(1.0, q / (self.k_curvy * self.range_delay))
 
     def on_enqueue(self, packet: Packet) -> Decision:
+        """Curvy RED verdict: linear ``ps`` for Scalable, squared for Classic."""
         ps = self._ps()
         if packet.is_scalable:
             if ps > 0.0 and self.rng.random() < ps:
@@ -73,8 +74,10 @@ class CurvyRedAqm(AQM):
 
     @property
     def probability(self) -> float:
+        """Scalable-branch marking probability ``ps``."""
         return self._ps()
 
     @property
     def classic_probability(self) -> float:
+        """Classic-branch signal probability ``(ps/2)²`` (equation 14)."""
         return (self._ps() / 2.0) ** 2

@@ -116,18 +116,29 @@ class DualQueueCoupledAqm:
     # Queue-side interface consumed by Link
     # ------------------------------------------------------------------
     def byte_length(self) -> int:
+        """Combined L + C backlog in bytes."""
         return self._l_bytes + self._c_bytes
 
     def packet_length(self) -> int:
+        """Combined L + C backlog in packets."""
         return len(self._l) + len(self._c)
 
     def queue_delay(self) -> float:
+        """Estimated drain time of the combined backlog in seconds."""
         return self.estimator.delay(self.byte_length())
 
     def set_wakeup(self, fn: Callable[[], None]) -> None:
+        """Register the link's wake-up callback (fires on enqueue)."""
         self._wakeup = fn
 
     def enqueue(self, packet: Packet) -> bool:
+        """Classify, signal, and enqueue one arriving packet.
+
+        Scalable (ECT(1)) packets join the L queue and are CE-marked at
+        the coupled probability ``k·p'`` or above the native threshold;
+        Classic packets join the C queue and face the squared law
+        ``p'²``.  Returns False when the packet was dropped.
+        """
         self.stats.arrived += 1
         self.stats.bytes_arrived += packet.size
         if self.packet_length() >= self.buffer_packets:
@@ -169,6 +180,7 @@ class DualQueueCoupledAqm:
         return True
 
     def dequeue(self) -> Optional[Packet]:
+        """Serve the next packet under time-shifted L-before-C priority."""
         queue = self._pick_queue()
         if queue is None:
             return None

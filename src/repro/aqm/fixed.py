@@ -37,6 +37,7 @@ class FixedProbabilityAqm(AQM):
         self.ecn = ecn
 
     def on_enqueue(self, packet: Packet) -> Decision:
+        """Bernoulli(p) verdict: mark when ECT, drop otherwise."""
         if self.p <= 0.0 or self.rng.random() >= self.p:
             return Decision.PASS
         if self.ecn and packet.ecn_capable:
@@ -45,6 +46,7 @@ class FixedProbabilityAqm(AQM):
 
     @property
     def probability(self) -> float:
+        """The constant configured probability ``p``."""
         return self.p
 
 
@@ -66,6 +68,7 @@ class DeterministicMarker(AQM):
         self._counters: dict[int, int] = {}
 
     def on_enqueue(self, packet: Packet) -> Decision:
+        """Signal the flow's every ``interval``-th packet, else pass."""
         count = self._counters.get(packet.flow_id, 0) + 1
         if count < self.interval:
             self._counters[packet.flow_id] = count
@@ -77,4 +80,5 @@ class DeterministicMarker(AQM):
 
     @property
     def probability(self) -> float:
+        """Effective signal rate ``1/interval`` (p rounded to a spacing)."""
         return 1.0 / self.interval

@@ -109,6 +109,7 @@ class PIController:
         return self.p
 
     def reset(self) -> None:
+        """Zero the integrator state (``p`` and the previous delay sample)."""
         self.p = 0.0
         self.prev_delay = 0.0
 
@@ -138,9 +139,11 @@ class PiAqm(AQM):
         self.rng = rng or random.Random(0)
 
     def update(self) -> None:
+        """Periodic PI step: recompute ``p`` from the current queue delay."""
         self.controller.update(self.queue.queue_delay())
 
     def on_enqueue(self, packet: Packet) -> Decision:
+        """Signal the arriving packet with probability ``p`` (mark if ECT)."""
         p = self.controller.p
         if p <= 0.0 or self.rng.random() >= p:
             return Decision.PASS
@@ -150,4 +153,5 @@ class PiAqm(AQM):
 
     @property
     def probability(self) -> float:
+        """Currently applied drop/mark probability ``p``."""
         return self.controller.p

@@ -105,6 +105,7 @@ class PieAqm(AQM):
     # Periodic probability recomputation
     # ------------------------------------------------------------------
     def update(self) -> None:
+        """RFC 8033 periodic step: PI delta, auto-tune, caps, burst state."""
         self._qdelay = self.queue.queue_delay()
         ctl = self.controller
         p = ctl.p
@@ -146,6 +147,7 @@ class PieAqm(AQM):
     # Enqueue-time decision
     # ------------------------------------------------------------------
     def on_enqueue(self, packet: Packet) -> Decision:
+        """Verdict after PIE's suppression heuristics, then Bernoulli(p)."""
         p = self.controller.p
         if self.max_burst > 0 and self.burst_allowance > 0:
             return Decision.PASS
@@ -169,6 +171,7 @@ class PieAqm(AQM):
 
     @property
     def probability(self) -> float:
+        """Currently applied drop/mark probability ``p``."""
         return self.controller.p
 
 

@@ -86,6 +86,7 @@ class RedAqm(AQM):
         return 1.0
 
     def on_enqueue(self, packet: Packet) -> Decision:
+        """RED verdict from the EWMA average (with count-spread option)."""
         # EWMA update on every arrival, as classic RED does.
         self.avg += self.weight * (self.queue.queue_delay() - self.avg)
         p = self._instant_probability()
@@ -107,4 +108,5 @@ class RedAqm(AQM):
 
     @property
     def probability(self) -> float:
+        """Instantaneous RED probability at the current EWMA average."""
         return self._instant_probability()

@@ -64,6 +64,7 @@ class StepThresholdAqm(AQM):
         return self.queue.queue_delay() > self.threshold_delay
 
     def on_enqueue(self, packet: Packet) -> Decision:
+        """Mark every ECT arrival while the queue is above the threshold."""
         self.seen += 1
         if not self._above_threshold():
             return Decision.PASS

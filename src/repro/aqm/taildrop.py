@@ -27,6 +27,7 @@ class TailDropAqm(AQM):
         self.limit_packets = limit_packets
 
     def on_enqueue(self, packet: Packet) -> Decision:
+        """Drop when the configured packet threshold is reached, else pass."""
         if (
             self.limit_packets is not None
             and self.queue.packet_length() >= self.limit_packets

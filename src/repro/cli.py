@@ -99,6 +99,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(packet conservation, p in [0,1], clock)")
     run.add_argument("--fault", metavar="SPEC", action="append", default=[],
                      help="inject a fault; repeatable. " + FAULT_SPEC_HELP)
+    run.add_argument("--no-link-batching", action="store_true",
+                     help="dispatch one event per packet instead of batched "
+                          "drains (results are bit-exact either way; use for "
+                          "A/B timing or debugging)")
 
     co = sub.add_parser("coexist", help="DCTCP vs Cubic at one grid point")
     co.add_argument("--aqm", choices=sorted(FACTORIES), default="coupled")
@@ -223,7 +227,9 @@ def _cmd_bench(args, out) -> int:
         print(report, file=out)
     mismatches = [
         b["name"] for b in payload["benchmarks"]
-        if b.get("matches_serial") is False or b.get("matches_cold") is False
+        if b.get("matches_serial") is False
+        or b.get("matches_cold") is False
+        or b.get("matches_unbatched") is False
     ]
     if mismatches:
         print(f"DETERMINISM REGRESSION in: {', '.join(mismatches)}", file=out)
@@ -254,6 +260,8 @@ def _cmd_run(args, out) -> int:
     if args.validate or args.fault:
         faults = tuple(parse_fault_spec(spec) for spec in args.fault)
         exp = replace(exp, validate=args.validate, faults=faults)
+    if args.no_link_batching:
+        exp = replace(exp, link_batching=False)
     result = run_experiment(exp)
     delay = result.sojourn_summary(percentiles=(99,))
     rows = [

@@ -95,6 +95,10 @@ class Experiment:
     faults: Sequence[Fault] = field(default_factory=tuple)
     #: Run the periodic invariant checker alongside the simulation.
     validate: bool = False
+    #: Drain back-to-back bottleneck transmissions in single event
+    #: dispatches (bit-exact vs. the event-per-packet schedule; see
+    #: :mod:`repro.net.link`).  Off is only useful for A/B measurement.
+    link_batching: bool = True
     #: Watchdog budgets for the run (None = unlimited).
     max_events: Optional[int] = None
     max_wall_seconds: Optional[float] = None
@@ -186,25 +190,31 @@ class ResultMetrics:
     """
 
     def sojourn_summary(self, percentiles=(1, 25, 50, 99)) -> Dict[str, float]:
+        """Mean/percentile summary of per-packet sojourn times (seconds)."""
         return percentile_summary(self.sojourn_samples(), percentiles)
 
     def balance(self, label_a: str, label_b: str) -> float:
+        """Rate-balance ratio between two flow classes (Figure 15 metric)."""
         return rate_balance_ratio(self.goodputs(label_a), self.goodputs(label_b))
 
     def total_goodput_bps(self) -> float:
+        """Sum of goodput over every flow class, in bits/second."""
         return sum(
             sum(self.goodputs(label)) for label in self.class_labels()
         )
 
     def mean_utilization(self) -> float:
+        """Mean bottleneck utilization after warmup (0..1)."""
         return self.utilization.mean(self.warmup)
 
     def utilization_summary(self, percentiles=(1, 99)) -> Dict[str, float]:
+        """Percentile summary of the post-warmup utilization samples."""
         return percentile_summary(
             self.utilization.window(self.warmup, float("inf")), percentiles
         )
 
     def probability_summary(self, percentiles=(25, 99)) -> Dict[str, float]:
+        """Percentile summary of the applied AQM probability (Figure 17)."""
         return percentile_summary(
             self.probability.window(self.warmup, float("inf")), percentiles
         )
@@ -251,38 +261,47 @@ class ExperimentResult(ResultMetrics):
     # -- series ----------------------------------------------------------
     @property
     def queue_delay(self):
+        """Sampled queue-delay time series at the bottleneck."""
         return self.bed.queue_delay
 
     @property
     def probability(self):
+        """Sampled applied AQM probability (p) time series."""
         return self.bed.probability
 
     @property
     def raw_probability(self):
+        """Sampled internal controller variable (p' for PI2)."""
         return self.bed.raw_probability
 
     @property
     def utilization(self):
+        """Sampled bottleneck utilization time series (0..1)."""
         return self.bed.utilization
 
     # -- per-packet sojourns ------------------------------------------------
     def sojourn_samples(self, from_warmup: bool = True) -> np.ndarray:
+        """Per-packet bottleneck sojourn times, post-warmup by default."""
         t0 = self.warmup if from_warmup else 0.0
         return self.bed.sojourns.window(t0, float("inf"))
 
     # -- flow rates -----------------------------------------------------------
     def goodputs(self, label: str) -> List[float]:
+        """Per-flow goodput (bits/second) for one flow-class label."""
         return self.bed.goodput_bps(label, self.duration)
 
     def class_labels(self) -> List[str]:
+        """Flow-class labels present in this experiment (e.g. 'dctcp')."""
         return self.bed.flows.labels()
 
     @property
     def queue_stats(self):
+        """Bottleneck queue counters (arrived/dropped/marked/...)."""
         return self.bed.queue.stats
 
     @property
     def aqm(self):
+        """The live AQM instance under test (for counter inspection)."""
         return self.bed.aqm
 
     # -- robustness read-outs -------------------------------------------------
@@ -324,6 +343,7 @@ def run_experiment(experiment: Experiment) -> ExperimentResult:
         buffer_packets=experiment.buffer_packets,
         sample_period=experiment.sample_period,
         record_sojourns=experiment.record_sojourns,
+        link_batching=experiment.link_batching,
     )
     for group in experiment.flows:
         for _ in range(group.count):

@@ -52,10 +52,12 @@ class FigureData:
     note: str = ""
 
     def table(self) -> str:
+        """Render headers + rows as an aligned text table."""
         title = f"{self.figure}" + (f"\n{self.note}" if self.note else "")
         return format_table(self.headers, self.rows, title=title)
 
     def to_csv(self, path) -> None:
+        """Write the figure's rows to ``path`` as CSV."""
         import csv
         from pathlib import Path
 

@@ -72,13 +72,16 @@ class FrozenResult(ResultMetrics):
 
     # -- raw accessors required by ResultMetrics ---------------------------
     def sojourn_samples(self, from_warmup: bool = True) -> np.ndarray:
+        """Per-packet bottleneck sojourn times, post-warmup by default."""
         t0 = self.warmup if from_warmup else 0.0
         return self.sojourns.window(t0, float("inf"))
 
     def goodputs(self, label: str) -> List[float]:
+        """Per-flow goodput (bits/second) for one flow-class label."""
         return list(self._goodputs.get(label, []))
 
     def class_labels(self) -> List[str]:
+        """Flow-class labels captured at freeze time."""
         return list(self._goodputs)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

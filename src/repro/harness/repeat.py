@@ -50,10 +50,12 @@ class MetricEstimate:
 
     @property
     def low(self) -> float:
+        """Lower edge of the 95 % confidence interval."""
         return self.mean - self.ci95
 
     @property
     def high(self) -> float:
+        """Upper edge of the 95 % confidence interval."""
         return self.mean + self.ci95
 
     def overlaps(self, other: "MetricEstimate") -> bool:
@@ -89,6 +91,7 @@ class RepeatOutcome(Dict[str, MetricEstimate]):
 
     @property
     def complete(self) -> bool:
+        """True when every seed produced a sample (no failures)."""
         return not self.failures
 
 

@@ -64,6 +64,7 @@ class GridCell:
     result: ExperimentResult
 
     def balance(self, label_a: str, label_b: str) -> float:
+        """Rate-balance ratio between two flow classes in this cell."""
         return self.result.balance(label_a, label_b)
 
 
@@ -82,9 +83,11 @@ class GridOutcome(List[GridCell]):
 
     @property
     def complete(self) -> bool:
+        """True when every cell completed (no failures captured)."""
         return not self.failures
 
     def failure_report(self) -> str:
+        """Human-readable summary of the captured cell failures."""
         return format_failure_report(self.failures)
 
 

@@ -21,6 +21,7 @@ from repro.perf.bench import (
     bench_engine_events,
     bench_experiment,
     bench_grid,
+    bench_link_batching,
     format_bench_table,
     run_benchmarks,
     write_bench_json,
@@ -32,6 +33,7 @@ __all__ = [
     "bench_engine_events",
     "bench_cancel_churn",
     "bench_experiment",
+    "bench_link_batching",
     "bench_grid",
     "run_benchmarks",
     "write_bench_json",

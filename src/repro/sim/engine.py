@@ -25,6 +25,33 @@ cancellations and compacts the heap in place once the dead fraction
 crosses a threshold, keeping heap operations proportional to *live*
 events.
 
+Event batching
+--------------
+A component that knows its *own* next event time can avoid the heap
+entirely: inside a callback it may call :meth:`Simulator.peek` to see
+when the next foreign event is due and, if its continuation sorts
+strictly before that (and within the current :attr:`Simulator.horizon`),
+handle it inline via :meth:`Simulator.advance_to` instead of scheduling
+it.  The bottleneck :class:`~repro.net.link.Link` drains back-to-back
+packet transmissions this way, and :class:`~repro.net.pipe.Pipe` keeps
+its in-flight packets on an *arrival train* served by a single pending
+heap event instead of one event per packet — which also shrinks the heap
+from thousands of entries (every in-flight packet) to a handful, making
+every remaining push/pop cheaper.
+
+Bit-exactness rests on two rules.  First, inline handling is only
+allowed when the continuation provably sorts before every pending heap
+event, so nothing that *would* have fired earlier is displaced.  Second,
+batchers draw their sequence numbers from the same counter at the same
+points as the unbatched code (:meth:`Simulator.reserve_seq` /
+:meth:`Simulator.at_reserved`), so the ``(time, seq)`` identity of every
+event — heaped or absorbed — is identical in both modes and every
+same-timestamp tie breaks the same way.  A batched run therefore
+produces bit-exact results (equal ``digest()``\\ s) for a fixed seed.
+Absorbed events are counted in :attr:`Simulator.events_batched`; a batch
+forced to stop because a foreign event intervened is counted in
+:attr:`Simulator.batch_breaks`.
+
 Example
 -------
 >>> sim = Simulator()
@@ -40,7 +67,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 from repro.errors import CallbackError, SimulationError, WatchdogExceeded
 
@@ -148,10 +175,16 @@ class Simulator:
     def __init__(self, start_time: float = 0.0):
         self.now: float = start_time
         self._heap: list[Event] = []
+        #: Stream lane: (time, seq, fn, args) tuples for batcher
+        #: continuations (see :meth:`stream_schedule`).
+        self._streams: list = []
         self._seq = itertools.count()
         self._events_processed = 0
         self._cancelled_pending = 0
         self._compactions = 0
+        self._events_batched = 0
+        self._batch_breaks = 0
+        self._horizon: Optional[float] = None
         self._running = False
         self._watchdog: Optional[Watchdog] = None
 
@@ -225,6 +258,133 @@ class Simulator:
         self._cancelled_pending = 0
         return removed
 
+    # ------------------------------------------------------------------
+    # Inline event batching (see module docstring, "Event batching")
+    # ------------------------------------------------------------------
+    def peek(self) -> Optional[Tuple[float, int]]:
+        """``(time, seq)`` of the next pending event, or None if idle.
+
+        Considers both the general heap and the stream lane.  Lazily-
+        cancelled events at the top of the heap are discarded on the way,
+        exactly as the run loop would skip them, so peeking never changes
+        which callbacks fire or when.  The ``seq`` lets a batcher compare
+        its own *reserved* event identity lexicographically — the exact
+        tie-break the dispatch loop applies at equal timestamps.
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if not head.cancelled:
+                break
+            heapq.heappop(heap)
+            if self._cancelled_pending > 0:
+                self._cancelled_pending -= 1
+        streams = self._streams
+        if heap:
+            head = heap[0]
+            if streams and streams[0][0] <= head.time:
+                entry = streams[0]
+                if entry[0] < head.time or entry[1] < head.seq:
+                    return (entry[0], entry[1])
+            return (head.time, head.seq)
+        if streams:
+            return (streams[0][0], streams[0][1])
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next pending (non-cancelled) event, or None."""
+        head = self.peek()
+        return None if head is None else head[0]
+
+    def reserve_seq(self) -> int:
+        """Claim the sequence number the next scheduled event would get.
+
+        The batching contract: a batcher reserves a seq at *exactly* the
+        point the unbatched code would have called :meth:`schedule`, so
+        the sequence-number stream — and therefore every same-timestamp
+        tie-break — is identical whether events are heaped, streamed or
+        absorbed.  A reserved seq is either spent via
+        :meth:`stream_schedule` (the batch broke; the continuation waits
+        its turn in the stream lane) or dropped (the continuation was
+        handled inline via :meth:`advance_to`).
+        """
+        return next(self._seq)
+
+    def at_reserved(
+        self, time: float, seq: int, fn: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Schedule a heap event carrying a seq from :meth:`reserve_seq`.
+
+        The unbatched twin of :meth:`stream_schedule`: components that
+        reserve their continuation seq up front use this when batching is
+        off, so the event lands in exactly the (time, seq) slot the
+        batched run would have given it.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at t={time} before current time {self.now}"
+            )
+        ev = Event(time, seq, fn, args, sim=self)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def stream_schedule(
+        self, time: float, seq: int, fn: Callable[..., Any], *args: Any
+    ) -> None:
+        """Schedule a batcher continuation in the stream lane.
+
+        The stream lane is a second, small heap of plain ``(time, seq,
+        fn, args)`` tuples that the dispatch loop merges with the general
+        event heap in exact ``(time, seq)`` order.  Batchers (the link's
+        transmission drain, pipe arrival trains) route their per-packet
+        continuations here: tuples compare in C (no :meth:`Event.__lt__`
+        round-trips), nothing is allocated per event, and the lane stays
+        a few entries deep — one pending continuation per batcher —
+        regardless of how many packets are in flight.  Entries cannot be
+        cancelled; ``seq`` must come from :meth:`reserve_seq` so the
+        merged order is identical to the unbatched schedule.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at t={time} before current time {self.now}"
+            )
+        heapq.heappush(self._streams, (time, seq, fn, args))
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward inside a callback, absorbing one event.
+
+        This is the event-batching primitive: a component that has proven
+        (via :meth:`peek` and :attr:`horizon`) that nothing else can fire
+        before ``time`` may advance the clock itself and handle its
+        continuation inline instead of scheduling it.  Each call counts
+        one absorbed heap event in :attr:`events_batched`.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot advance backwards to t={time} from t={self.now}"
+            )
+        self.now = time
+        self._events_batched += 1
+
+    def note_batch_break(self) -> None:
+        """Record that a batch had to stop because an event intervened.
+
+        Called by batching components (the link) when they fall back to
+        scheduling a real heap event mid-drain; exposed as
+        :attr:`batch_breaks` so batching efficiency is observable.
+        """
+        self._batch_breaks += 1
+
+    @property
+    def horizon(self) -> Optional[float]:
+        """The ``until`` bound of the :meth:`run` call currently executing.
+
+        ``None`` outside :meth:`run` (including :meth:`step`), which
+        disables inline batching — a batcher may never advance the clock
+        past the point the run loop has been asked to stop at.
+        """
+        return self._horizon
+
     def every(
         self,
         interval: float,
@@ -270,31 +430,55 @@ class Simulator:
         wall_limit = watchdog.max_wall_seconds if watchdog is not None else None
         wall_start = time.monotonic() if wall_limit is not None else 0.0
         self._running = True
+        self._horizon = until
         # Hot loop: the engine spends essentially all of a simulation here,
         # so the per-event work is kept to heap ops + the callback itself.
         # Heap, pop and clock access are bound to locals, the dispatch
         # wrapper is inlined (one fewer Python frame per event), and the
         # budget checks are single comparisons that short-circuit when no
-        # watchdog is installed.
+        # watchdog is installed.  The general event heap and the stream
+        # lane (batcher continuations, see stream_schedule) are merged in
+        # exact (time, seq) order.
         heap = self._heap
+        streams = self._streams
         heappop = heapq.heappop
         monotonic = time.monotonic
         stride = Watchdog.WALL_CHECK_STRIDE
         processed = self._events_processed
-        ev: Optional[Event] = None
+        fn: Optional[Callable[..., Any]] = None
         try:
-            while heap:
-                ev = heap[0]
-                t = ev.time
-                if t > until:
-                    break
-                heappop(heap)
-                if ev.cancelled:
+            while True:
+                while heap and heap[0].cancelled:
+                    heappop(heap)
                     if self._cancelled_pending > 0:
                         self._cancelled_pending -= 1
-                    continue
-                self.now = t
-                ev.fn(*ev.args)
+                if streams and (
+                    not heap
+                    or streams[0][0] < heap[0].time
+                    or (
+                        streams[0][0] == heap[0].time
+                        and streams[0][1] < heap[0].seq
+                    )
+                ):
+                    entry = streams[0]
+                    t = entry[0]
+                    if t > until:
+                        break
+                    heappop(streams)
+                    fn = entry[2]
+                    self.now = t
+                    fn(*entry[3])
+                elif heap:
+                    ev = heap[0]
+                    t = ev.time
+                    if t > until:
+                        break
+                    heappop(heap)
+                    fn = ev.fn
+                    self.now = t
+                    fn(*ev.args)
+                else:
+                    break
                 processed += 1
                 if event_budget is not None and processed >= event_budget:
                     raise WatchdogExceeded(
@@ -320,70 +504,87 @@ class Simulator:
         except SimulationError as exc:
             # Already structured (watchdog, invariant checker, nested
             # engine, ...); just fill in the virtual time if the raiser
-            # could not.
-            if exc.sim_time is None and ev is not None:
-                exc.sim_time = ev.time
+            # could not.  self.now is preferred over the event's own time:
+            # a batching callback may have advanced the clock past it.
+            if exc.sim_time is None and fn is not None:
+                exc.sim_time = self.now
             raise
         except (KeyboardInterrupt, SystemExit):
             raise
         except Exception as exc:
-            name = getattr(ev.fn, "__qualname__", None) or getattr(
-                ev.fn, "__name__", repr(ev.fn)
+            name = getattr(fn, "__qualname__", None) or getattr(
+                fn, "__name__", repr(fn)
             )
             raise CallbackError(
                 f"event callback {name!r} raised {type(exc).__name__}: {exc}",
-                sim_time=ev.time,
+                sim_time=self.now,
                 callback=name,
                 component="Simulator",
             ) from exc
         finally:
             self._events_processed = processed
             self._running = False
+            self._horizon = None
 
     def step(self) -> bool:
-        """Process a single event.  Returns False when the heap is empty.
+        """Process a single event.  Returns False when nothing is pending.
 
+        Merges the event heap and the stream lane exactly as :meth:`run`
+        does.  No run horizon is in effect, so batchers cannot absorb
+        events inline — each continuation is dispatched one per call.
         Callback failures receive the same structured wrapping as in
         :meth:`run`.
         """
         heap = self._heap
-        while heap:
+        streams = self._streams
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            if self._cancelled_pending > 0:
+                self._cancelled_pending -= 1
+        if streams and (
+            not heap
+            or streams[0][0] < heap[0].time
+            or (streams[0][0] == heap[0].time and streams[0][1] < heap[0].seq)
+        ):
+            when, _seq, fn, args = heapq.heappop(streams)
+            self.now = when
+            self._dispatch(fn, args, when)
+            self._events_processed += 1
+            return True
+        if heap:
             ev = heapq.heappop(heap)
-            if ev.cancelled:
-                if self._cancelled_pending > 0:
-                    self._cancelled_pending -= 1
-                continue
             self.now = ev.time
-            self._dispatch(ev)
+            self._dispatch(ev.fn, ev.args, ev.time)
             self._events_processed += 1
             return True
         return False
 
-    def _dispatch(self, ev: Event) -> None:
+    def _dispatch(self, fn: Callable[..., Any], args: tuple, when: float) -> None:
         """Run one callback, converting failures into structured errors."""
         try:
-            ev.fn(*ev.args)
+            fn(*args)
         except SimulationError as exc:
             # Already structured (invariant checker, nested engine, ...);
             # just fill in the virtual time if the raiser could not.
             if exc.sim_time is None:
-                exc.sim_time = ev.time
+                exc.sim_time = when
             raise
         except Exception as exc:
-            name = getattr(ev.fn, "__qualname__", None) or getattr(
-                ev.fn, "__name__", repr(ev.fn)
+            name = getattr(fn, "__qualname__", None) or getattr(
+                fn, "__name__", repr(fn)
             )
             raise CallbackError(
                 f"event callback {name!r} raised {type(exc).__name__}: {exc}",
-                sim_time=ev.time,
+                sim_time=when,
                 callback=name,
                 component="Simulator",
             ) from exc
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including lazily-cancelled ones)."""
-        return len(self._heap)
+        """Number of events still queued — heap entries (including
+        lazily-cancelled ones) plus pending stream-lane continuations."""
+        return len(self._heap) + len(self._streams)
 
     @property
     def cancelled_pending(self) -> int:
@@ -404,6 +605,20 @@ class Simulator:
     def events_processed(self) -> int:
         """Total number of callbacks executed so far."""
         return self._events_processed
+
+    @property
+    def events_batched(self) -> int:
+        """Heap events absorbed inline by batching (:meth:`advance_to`).
+
+        ``events_processed + events_batched`` is the workload's *logical*
+        event count — what an unbatched run would have dispatched.
+        """
+        return self._events_batched
+
+    @property
+    def batch_breaks(self) -> int:
+        """Times a batch stopped early because a foreign event intervened."""
+        return self._batch_breaks
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Simulator t={self.now:.6f} pending={len(self._heap)}>"

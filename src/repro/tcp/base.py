@@ -139,6 +139,7 @@ class TcpSender:
         self.rttvar = 0.0
         self.rto = INITIAL_RTO
         self._rto_event: Optional[Event] = None
+        self._rto_deadline: Optional[float] = None
         self._backoff = 1
 
         # --- accounting -------------------------------------------------------
@@ -246,7 +247,7 @@ class TcpSender:
         # RFC 6298: start the timer only when it is not already running —
         # re-arming per transmission would let a steady trickle of sends
         # postpone the timeout of a lost retransmission indefinitely.
-        if self._rto_event is None:
+        if self._rto_deadline is None:
             self._arm_rto()
         self.transmit(pkt)
 
@@ -398,16 +399,41 @@ class TcpSender:
         self.rto = max(MIN_RTO, self.srtt + 4 * self.rttvar)
 
     def _arm_rto(self) -> None:
-        self._cancel_rto()
-        self._rto_event = self.sim.schedule(self.rto * self._backoff, self._on_rto)
+        """(Re)start the retransmission timer at ``now + rto * backoff``.
+
+        The timer is *lazy*: re-arming only moves the deadline field, and
+        the already-scheduled heap event re-checks it when it fires —
+        rescheduling itself if the deadline moved out, doing nothing if
+        the timer was disarmed.  This turns the per-ACK cancel + push
+        churn (the single largest source of heap traffic in a steady
+        transfer) into a plain attribute write; a real heap event is only
+        created when none is pending, or in the rare case the new
+        deadline is *earlier* than the pending event.
+        """
+        deadline = self.sim.now + self.rto * self._backoff
+        self._rto_deadline = deadline
+        ev = self._rto_event
+        if ev is None:
+            self._rto_event = self.sim.at(deadline, self._on_rto)
+        elif ev.time > deadline:
+            ev.cancel()
+            self._rto_event = self.sim.at(deadline, self._on_rto)
 
     def _cancel_rto(self) -> None:
-        if self._rto_event is not None:
-            self._rto_event.cancel()
-            self._rto_event = None
+        # Lazy disarm: the pending event (if any) sees the cleared
+        # deadline when it fires and drops itself.
+        self._rto_deadline = None
 
     def _on_rto(self) -> None:
         self._rto_event = None
+        deadline = self._rto_deadline
+        if deadline is None:
+            return  # disarmed since this wakeup was scheduled
+        if self.sim.now < deadline:
+            # Stale wakeup: ACKs pushed the deadline out; sleep again.
+            self._rto_event = self.sim.at(deadline, self._on_rto)
+            return
+        self._rto_deadline = None
         if self.completed or self.flight_size == 0:
             return
         self.timeouts += 1

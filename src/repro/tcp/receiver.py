@@ -91,6 +91,7 @@ class TcpReceiver:
         self._pending = 0               # in-order segments not yet ACKed
         self._pending_ts = 0.0          # timestamp to echo on the next ACK
         self._delack_event: Optional[Event] = None
+        self._delack_deadline: Optional[float] = None
 
         self.segments_received = 0
         self.duplicates = 0
@@ -198,16 +199,34 @@ class TcpReceiver:
         self.ack_out(ack)
 
     def _arm_delack(self) -> None:
-        if self._delack_event is None:
-            self._delack_event = self.sim.schedule(DELACK_TIMEOUT, self._on_delack)
+        """Start the delayed-ACK timer (lazy, like the sender's RTO).
+
+        Arming writes a deadline; the heap event — one per receiver,
+        created only when none is pending — re-checks that deadline when
+        it fires, so the every-other-ACK cancel + reschedule cycle never
+        touches the heap.
+        """
+        if self._delack_deadline is None:
+            deadline = self.sim.now + DELACK_TIMEOUT
+            self._delack_deadline = deadline
+            if self._delack_event is None:
+                self._delack_event = self.sim.at(deadline, self._on_delack)
 
     def _cancel_delack(self) -> None:
-        if self._delack_event is not None:
-            self._delack_event.cancel()
-            self._delack_event = None
+        # Lazy disarm: a pending event sees the cleared deadline and
+        # drops itself (or re-sleeps if the timer was re-armed later).
+        self._delack_deadline = None
 
     def _on_delack(self) -> None:
         self._delack_event = None
+        deadline = self._delack_deadline
+        if deadline is None:
+            return  # disarmed since this wakeup was scheduled
+        if self.sim.now < deadline:
+            # Stale wakeup for an earlier arming; sleep until the live one.
+            self._delack_event = self.sim.at(deadline, self._on_delack)
+            return
+        self._delack_deadline = None
         if self._pending > 0:
             self._send_ack()
 

@@ -165,3 +165,87 @@ class TestPeriodicTimer:
     def test_non_positive_interval_rejected(self, sim):
         with pytest.raises(ValueError):
             sim.every(0.0, lambda: None)
+
+
+class TestStreamLane:
+    """The batcher-facing API: reserved seqs, the stream lane, horizon."""
+
+    def test_reserve_seq_shares_the_schedule_counter(self, sim):
+        a = sim.schedule(1.0, lambda: None)
+        reserved = sim.reserve_seq()
+        b = sim.schedule(1.0, lambda: None)
+        assert a.seq < reserved < b.seq
+
+    def test_stream_events_merge_with_heap_in_time_order(self, sim):
+        seen = []
+        sim.schedule(2.0, lambda: seen.append("heap"))
+        sim.stream_schedule(1.0, sim.reserve_seq(), lambda: seen.append("stream"))
+        sim.schedule(3.0, lambda: seen.append("late"))
+        sim.run(5.0)
+        assert seen == ["stream", "heap", "late"]
+
+    def test_same_time_ties_break_on_seq(self, sim):
+        seen = []
+        first = sim.reserve_seq()
+        sim.schedule(1.0, lambda: seen.append("heap"))  # later seq than first
+        sim.stream_schedule(1.0, first, lambda: seen.append("stream"))
+        second = sim.reserve_seq()  # later seq than the heap event
+        sim.stream_schedule(1.0, second, lambda: seen.append("stream2"))
+        sim.run(2.0)
+        assert seen == ["stream", "heap", "stream2"]
+
+    def test_at_reserved_is_the_unbatched_twin(self, sim):
+        seen = []
+        seq = sim.reserve_seq()
+        sim.at_reserved(1.0, seq, seen.append, "x")
+        sim.run(2.0)
+        assert seen == ["x"]
+
+    def test_scheduling_into_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run(1.0)
+        with pytest.raises(ValueError):
+            sim.stream_schedule(0.5, sim.reserve_seq(), lambda: None)
+        with pytest.raises(ValueError):
+            sim.at_reserved(0.5, sim.reserve_seq(), lambda: None)
+
+    def test_pending_events_counts_both_lanes(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.stream_schedule(2.0, sim.reserve_seq(), lambda: None)
+        assert sim.pending_events == 2
+
+    def test_peek_spans_both_lanes(self, sim):
+        assert sim.peek() is None
+        ev = sim.schedule(2.0, lambda: None)
+        assert sim.peek() == (2.0, ev.seq)
+        seq = sim.reserve_seq()
+        sim.stream_schedule(1.0, seq, lambda: None)
+        assert sim.peek() == (1.0, seq)
+        assert sim.peek_time() == 1.0
+
+    def test_step_dispatches_stream_events(self, sim):
+        seen = []
+        sim.stream_schedule(1.0, sim.reserve_seq(), lambda: seen.append(sim.now))
+        assert sim.step()
+        assert seen == [1.0]
+        assert not sim.step()
+
+    def test_advance_to_moves_clock_and_counts(self, sim):
+        sim.advance_to(1.5)
+        assert sim.now == 1.5
+        assert sim.events_batched == 1
+        with pytest.raises(ValueError):
+            sim.advance_to(1.0)
+
+    def test_note_batch_break_counter(self, sim):
+        assert sim.batch_breaks == 0
+        sim.note_batch_break()
+        assert sim.batch_breaks == 1
+
+    def test_horizon_set_only_inside_run(self, sim):
+        assert sim.horizon is None
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(sim.horizon))
+        sim.run(4.0)
+        assert seen == [4.0]
+        assert sim.horizon is None

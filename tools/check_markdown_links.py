@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Fail on broken intra-repo markdown links.
+
+Scans every ``*.md`` file in the repository (skipping dot-directories)
+for markdown links and checks that each link whose target is a relative
+path resolves to an existing file or directory.  External links
+(``http(s)://``, ``mailto:``) and pure in-page anchors (``#...``) are
+ignored; an anchor suffix on a file link (``docs/FOO.md#section``) is
+stripped before the existence check.
+
+Usage::
+
+    python tools/check_markdown_links.py [ROOT]
+
+Exits 1 and lists every broken link if any target is missing.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(root: Path):
+    """Yield repo markdown files, skipping hidden and cache directories."""
+    for path in sorted(root.rglob("*.md")):
+        if any(part.startswith(".") for part in path.relative_to(root).parts[:-1]):
+            continue
+        if "__pycache__" in path.parts:
+            continue
+        yield path
+
+
+def broken_links(root: Path):
+    """Return (file, link) pairs whose relative target does not exist."""
+    failures = []
+    for md in iter_markdown_files(root):
+        for match in LINK.finditer(md.read_text(encoding="utf-8")):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            if path_part.startswith("/"):
+                resolved = root / path_part.lstrip("/")
+            else:
+                resolved = md.parent / path_part
+            if not resolved.exists():
+                failures.append((md.relative_to(root), target))
+    return failures
+
+
+def main(argv) -> int:
+    """Entry point: check links under ``argv[1]`` (default: repo root)."""
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parents[1]
+    failures = broken_links(root)
+    for md, target in failures:
+        print(f"BROKEN {md}: ({target})")
+    checked = len(list(iter_markdown_files(root)))
+    if failures:
+        print(f"{len(failures)} broken link(s) across {checked} markdown files")
+        return 1
+    print(f"all intra-repo links resolve ({checked} markdown files)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
