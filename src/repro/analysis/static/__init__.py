@@ -1,0 +1,42 @@
+"""Domain-aware static analysis (``repro check``).
+
+AST-level lints for the invariants the reproduction's bit-exact
+determinism rests on — seeded randomness (DET), deterministic iteration
+(ORD), probability domain safety (PROB), virtual-time scheduling
+(SCHED) and process-pool picklability (PICKLE) — plus the framework to
+write more.  See docs/STATIC_ANALYSIS.md for the rule catalogue,
+suppression syntax (``# repro: allow[RULE] justification``) and the
+guide to adding a rule.
+"""
+
+from repro.analysis.static.core import (
+    RULES,
+    Finding,
+    Rule,
+    Severity,
+    SourceFile,
+    check_source,
+    register,
+)
+from repro.analysis.static.runner import (
+    JSON_SCHEMA_VERSION,
+    Report,
+    analyze_paths,
+    default_target,
+    run_check,
+)
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "Rule",
+    "Severity",
+    "SourceFile",
+    "check_source",
+    "register",
+    "JSON_SCHEMA_VERSION",
+    "Report",
+    "analyze_paths",
+    "default_target",
+    "run_check",
+]

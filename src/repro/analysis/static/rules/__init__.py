@@ -1,0 +1,29 @@
+"""Rule catalogue: importing this package registers every built-in rule.
+
+The five domain rules guard the properties the repository's
+reproducibility story depends on — see docs/STATIC_ANALYSIS.md for the
+full catalogue and docs on adding a rule:
+
+========  ==============================================================
+DET       randomness only via seeded repro.sim.random streams; no wall
+          clock in sim/net/aqm/tcp/core
+ORD       no iteration over sets or unsorted filesystem listings
+PROB      probability writes/returns in aqm/core clamp-dominated
+SCHED     scheduling time arguments derived from virtual time
+PICKLE    process-pool task-spec seam stays picklable
+========  ==============================================================
+"""
+
+from repro.analysis.static.rules.det import DeterminismRule
+from repro.analysis.static.rules.ordering import OrderingRule
+from repro.analysis.static.rules.pickling import PicklabilityRule
+from repro.analysis.static.rules.prob import ProbabilityDomainRule
+from repro.analysis.static.rules.sched import SchedulingRule
+
+__all__ = [
+    "DeterminismRule",
+    "OrderingRule",
+    "PicklabilityRule",
+    "ProbabilityDomainRule",
+    "SchedulingRule",
+]

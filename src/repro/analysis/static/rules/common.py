@@ -1,0 +1,45 @@
+"""Small AST helpers shared by the lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Tuple
+
+__all__ = ["dotted_name", "attr_chain", "call_name", "is_name_call"]
+
+
+def attr_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` -> ("a", "b", "c"); None when the chain has non-names.
+
+    Only resolves pure Name/Attribute chains — ``obj().x`` or
+    ``d["k"].x`` return None, which every caller treats as "unknown,
+    don't flag" (the rules prefer false negatives over noise).
+    """
+    parts: list = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` rendered as ``"a.b.c"``, or None (see :func:`attr_chain`)."""
+    chain = attr_chain(node)
+    return ".".join(chain) if chain else None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Dotted name of a call's target, or None when it is dynamic."""
+    return dotted_name(node.func)
+
+
+def is_name_call(node: ast.AST, name: str) -> bool:
+    """True when ``node`` is a call to the bare name ``name``."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == name
+    )

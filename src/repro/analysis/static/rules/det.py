@@ -1,0 +1,145 @@
+"""DET — determinism sources: seeded streams only, no wall clock.
+
+A run must be a pure function of (scenario, seed).  Inside the simulation
+packages (``sim``, ``net``, ``aqm``, ``tcp``, ``core``) that means:
+
+* no module-level :mod:`random` calls (``random.random()``,
+  ``random.uniform()``, ...) — they draw from the process-global,
+  unseeded-by-default generator;
+* no ad-hoc ``random.Random(...)`` construction — every stream must come
+  from :mod:`repro.sim.random` (:class:`RandomStreams` or
+  :func:`default_stream`), so seeds derive from the experiment's master
+  seed and A/B runs stay variance-isolated;
+* no ``numpy.random`` (same problem, different module);
+* no wall-clock or entropy reads (``time.time()``, ``time.monotonic()``,
+  ``datetime.now()``, ``os.urandom()``, ``uuid.uuid4()``, ...) — host
+  time must never leak into simulation state.  Legitimate wall-clock
+  uses (the engine's watchdog budget) carry ``# repro: allow[DET]``
+  suppressions with a justification.
+
+:mod:`repro.sim.random` itself is exempt from the ``random.Random``
+check — it is the sanctioned construction site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.static.core import Finding, Rule, Severity, SourceFile, register
+from repro.analysis.static.rules.common import attr_chain
+
+__all__ = ["DeterminismRule"]
+
+#: (module, attribute) call targets that read the host clock or entropy.
+WALL_CLOCK: frozenset = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "monotonic"),
+        ("time", "monotonic_ns"),
+        ("time", "perf_counter"),
+        ("time", "perf_counter_ns"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("datetime", "today"),
+        ("date", "today"),
+        ("os", "urandom"),
+        ("uuid", "uuid1"),
+        ("uuid", "uuid4"),
+        ("secrets", "token_bytes"),
+        ("secrets", "token_hex"),
+        ("secrets", "randbelow"),
+    }
+)
+
+#: The sanctioned stream factory module (exempt from the Random check).
+_SANCTIONED_SUFFIX = ("repro", "sim", "random.py")
+
+
+def _is_wall_clock(chain: Tuple[str, ...]) -> bool:
+    """Match ``time.time`` and also ``datetime.datetime.now`` style chains."""
+    return len(chain) >= 2 and chain[-2:] in WALL_CLOCK or (
+        len(chain) >= 2 and (chain[0], chain[-1]) in WALL_CLOCK
+    )
+
+
+@register
+class DeterminismRule(Rule):
+    """All randomness through :mod:`repro.sim.random`; no wall clock."""
+
+    name = "DET"
+    severity = Severity.ERROR
+    description = (
+        "no unseeded random / numpy.random, no ad-hoc random.Random(), "
+        "no wall-clock or entropy reads in sim/net/aqm/tcp/core"
+    )
+    packages = ("sim", "net", "aqm", "tcp", "core")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        sanctioned = source.path.parts[-3:] == _SANCTIONED_SUFFIX
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(source, node, sanctioned)
+            elif isinstance(node, ast.Assign):
+                yield from self._check_alias(source, node)
+
+    def _check_call(
+        self, source: SourceFile, node: ast.Call, sanctioned: bool
+    ) -> Iterator[Finding]:
+        chain = attr_chain(node.func)
+        if chain is None:
+            return
+        if chain[0] == "random" and len(chain) == 2:
+            if chain[1] == "Random":
+                if not sanctioned:
+                    yield self.finding(
+                        source,
+                        node,
+                        "ad-hoc random.Random() construction; derive streams "
+                        "from repro.sim.random (RandomStreams.stream or "
+                        "default_stream) so seeding follows the master seed",
+                    )
+            elif chain[1] != "seed":
+                yield self.finding(
+                    source,
+                    node,
+                    f"module-level random.{chain[1]}() draws from the "
+                    "process-global unseeded generator; use a named stream "
+                    "from repro.sim.random",
+                )
+            return
+        if len(chain) >= 3 and chain[0] in ("np", "numpy") and chain[1] == "random":
+            yield self.finding(
+                source,
+                node,
+                f"numpy.random.{chain[-1]}() is process-global state; "
+                "simulation randomness must come from repro.sim.random "
+                "streams",
+            )
+            return
+        if _is_wall_clock(chain):
+            yield self.finding(
+                source,
+                node,
+                f"wall-clock/entropy read {'.'.join(chain)}() inside a "
+                "simulation package; use virtual time (sim.now) or a seeded "
+                "stream",
+            )
+
+    def _check_alias(self, source: SourceFile, node: ast.Assign) -> Iterator[Finding]:
+        """Flag ``x = time.monotonic`` style bindings of wall-clock reads.
+
+        Hot loops bind clock functions to locals; the binding itself is
+        the auditable site (the later bare-name calls are untraceable
+        statically), so it carries the finding — and, when legitimate,
+        the suppression.
+        """
+        chain = attr_chain(node.value)
+        if chain is not None and _is_wall_clock(chain):
+            yield self.finding(
+                source,
+                node,
+                f"binds wall-clock function {'.'.join(chain)}; calls through "
+                "this alias read host time inside a simulation package",
+            )

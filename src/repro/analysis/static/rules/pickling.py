@@ -1,0 +1,157 @@
+"""PICKLE — everything crossing the process-pool seam must pickle.
+
+Parallel sweeps ship whole task specs to worker processes
+(:func:`repro.harness.parallel.execute_tasks`): the
+:class:`~repro.harness.parallel.SweepTask`'s experiment, its
+:class:`~repro.harness.factories.NamedAqmFactory`, and the returned
+:class:`~repro.harness.frozen.FrozenResult`.  A lambda or
+function-local class smuggled into that seam fails only at runtime —
+and only when ``jobs > 1`` — deep inside the pool.  This rule rejects
+the statically visible cases in ``harness/``:
+
+* a ``lambda`` passed into ``NamedAqmFactory(...)``, ``SweepTask(...)``
+  or ``Experiment(...)``, positionally or via an ``*factory*`` keyword;
+* a class or function *defined inside a function body* referenced in a
+  ``NamedAqmFactory(...)`` / ``SweepTask(...)`` construction — pickle
+  resolves classes by module path, so only module-level definitions
+  survive the trip;
+* a seam class (``NamedAqmFactory``, ``FrozenResult``, ``SweepTask``)
+  declaring ``__slots__`` without ``__getstate__``/``__setstate__`` and
+  without a ``dataclass`` decorator — slots plus inheritance is exactly
+  the combination where default reduction silently drops state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.static.core import Finding, Rule, Severity, SourceFile, register
+
+__all__ = ["PicklabilityRule"]
+
+#: Constructors whose arguments travel through pickle to pool workers.
+_SEAM_CONSTRUCTORS = frozenset({"NamedAqmFactory", "SweepTask", "Experiment"})
+
+#: Classes that define the pickled seam and must stay __reduce__-safe.
+_SEAM_CLASSES = frozenset({"NamedAqmFactory", "FrozenResult", "SweepTask"})
+
+
+def _constructor_name(node: ast.Call) -> str:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return ""
+
+
+def _local_definitions(tree: ast.Module) -> Set[str]:
+    """Names of classes/functions defined *inside* function bodies."""
+    module_level: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            module_level.add(node.name)
+    nested: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for sub in ast.walk(node):
+                if sub is node:
+                    continue
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    nested.add(sub.name)
+    return nested - module_level
+
+
+@register
+class PicklabilityRule(Rule):
+    """Task-spec seam stays picklable: module-level types, no lambdas."""
+
+    name = "PICKLE"
+    severity = Severity.ERROR
+    description = (
+        "no lambdas or function-local classes in NamedAqmFactory/"
+        "SweepTask/Experiment task specs; seam classes with __slots__ "
+        "need __getstate__/__setstate__"
+    )
+    packages = ("harness",)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        nested_defs = _local_definitions(source.tree)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_seam_call(source, node, nested_defs)
+            elif isinstance(node, ast.ClassDef):
+                yield from self._check_seam_class(source, node)
+
+    def _check_seam_call(
+        self, source: SourceFile, node: ast.Call, nested_defs: Set[str]
+    ) -> Iterator[Finding]:
+        ctor = _constructor_name(node)
+        if ctor not in _SEAM_CONSTRUCTORS:
+            return
+        arguments = [(None, arg) for arg in node.args] + [
+            (kw.arg, kw.value) for kw in node.keywords
+        ]
+        for keyword, value in arguments:
+            if isinstance(value, ast.Lambda):
+                where = f"keyword {keyword!r}" if keyword else "a positional argument"
+                yield self.finding(
+                    source,
+                    value,
+                    f"lambda passed to {ctor}(...) as {where}; lambdas "
+                    "cannot be pickled across the process-pool seam — use "
+                    "a module-level factory (repro.harness.factories)",
+                )
+            elif (
+                isinstance(value, ast.Name)
+                and value.id in nested_defs
+                and ctor in ("NamedAqmFactory", "SweepTask")
+            ):
+                yield self.finding(
+                    source,
+                    value,
+                    f"{value.id!r} is defined inside a function body but "
+                    f"handed to {ctor}(...); pickle resolves types by "
+                    "module path, so task-spec types must be module-level",
+                )
+
+    def _check_seam_class(
+        self, source: SourceFile, node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        if node.name not in _SEAM_CLASSES:
+            return
+        has_slots = any(
+            isinstance(stmt, ast.Assign)
+            and any(
+                isinstance(target, ast.Name) and target.id == "__slots__"
+                for target in stmt.targets
+            )
+            for stmt in node.body
+        )
+        if not has_slots:
+            return
+        if any(
+            (isinstance(dec, ast.Name) and dec.id == "dataclass")
+            or (isinstance(dec, ast.Attribute) and dec.attr == "dataclass")
+            or (
+                isinstance(dec, ast.Call)
+                and isinstance(dec.func, (ast.Name, ast.Attribute))
+                and (
+                    getattr(dec.func, "id", None) == "dataclass"
+                    or getattr(dec.func, "attr", None) == "dataclass"
+                )
+            )
+            for dec in node.decorator_list
+        ):
+            return
+        methods = {
+            stmt.name for stmt in node.body if isinstance(stmt, ast.FunctionDef)
+        }
+        if not {"__getstate__", "__setstate__"} <= methods:
+            yield self.finding(
+                source,
+                node,
+                f"seam class {node.name!r} declares __slots__ without "
+                "__getstate__/__setstate__; default reduction can drop "
+                "slot state when the class evolves — define both",
+            )

@@ -1,0 +1,191 @@
+"""PROB — probabilities must be clamped into [0, 1] where they are produced.
+
+The coupling law ``p = (p'/k)²`` and its relatives are only probabilities
+while they stay in the unit interval; under extreme gains or ``k < 1``
+the raw arithmetic exceeds 1 and every ``rng.random() < p`` comparison
+silently saturates while plots and digests record impossible values.
+The invariant checker catches this at runtime (when ``validate`` is on);
+this rule requires the *write sites* to be dominated by a clamp so the
+domain can never be left in the first place.
+
+Within ``aqm/`` and ``core/`` the rule inspects:
+
+* assignments to probability-named targets (``p``, ``ps``, ``pc``,
+  ``p_prime``, ``pc_prime``, ``p_l``, ``pa``, ``prob*`` — attributes
+  like ``self.p`` / ``ctl.p`` and locals alike);
+* ``return`` statements of probability-named functions and properties
+  (``probability``, ``classic_probability``, ``_ps``, ...).
+
+An expression counts as **clamped** when it is
+
+* a numeric literal in [0, 1];
+* a call to the shared helper :func:`repro.aqm.base.clamp_unit` (or any
+  ``clamp*``-named function) — the sanctioned spelling;
+* a ``min(max(...), ...)`` / ``max(min(...), ...)`` combination (both
+  bounds present);
+* a plain read of a name/attribute, or a call to another function (the
+  producer is then the checked site);
+* a conditional expression whose branches are all clamped.
+
+Bare arithmetic (``ps / k``, ``p ** 2``, ``min(...)`` alone — one-sided)
+is flagged.  Local accumulator augmented assignments (``p += delta``)
+are tolerated because the final store back to the attribute is checked;
+augmented assignment *to an attribute* is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from repro.analysis.static.core import Finding, Rule, Severity, SourceFile, register
+
+__all__ = ["ProbabilityDomainRule"]
+
+#: Probability-valued identifiers (after stripping leading underscores).
+_P_NAME = re.compile(r"^(p|ps|pc|pa|pp|p_[a-z0-9_]+|pc_[a-z0-9_]*|prob[a-z0-9_]*)$")
+
+#: Identifiers that look probability-ish but are not probabilities.
+_P_NAME_EXEMPT = frozenset(
+    {
+        "p_max",          # configuration bound, validated at construction
+        "p_good_to_bad",  # Markov transition parameters, ctor-validated
+        "p_bad_to_good",
+    }
+)
+
+_CLAMP_FUNCS = re.compile(r"^clamp")
+
+
+def _is_p_name(identifier: str) -> bool:
+    name = identifier.lstrip("_")
+    if name in _P_NAME_EXEMPT:
+        return False
+    return bool(_P_NAME.match(name)) or "probability" in name
+
+
+def _target_p_name(target: ast.AST) -> Optional[str]:
+    """Probability-ish identifier a store targets, or None."""
+    if isinstance(target, ast.Name) and _is_p_name(target.id):
+        return target.id
+    if isinstance(target, ast.Attribute) and _is_p_name(target.attr):
+        return target.attr
+    return None
+
+
+def _call_simple_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _is_predicate(func: ast.FunctionDef) -> bool:
+    """Probability-named functions returning ``bool`` are range *checks*
+    (``is_unit_probability``), not probability producers — skip them."""
+    returns = func.returns
+    return (
+        isinstance(returns, ast.Name)
+        and returns.id == "bool"
+        or func.name.lstrip("_").startswith(("is_", "has_"))
+    )
+
+
+def _is_clamped(node: ast.AST) -> bool:
+    """Does the expression provably stay within a clamp (see module doc)?"""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float)) and 0.0 <= node.value <= 1.0
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        return True  # plain read; the producing site is the checked one
+    if isinstance(node, ast.IfExp):
+        return _is_clamped(node.body) and _is_clamped(node.orelse)
+    if isinstance(node, ast.Call):
+        name = _call_simple_name(node)
+        if name is None:
+            return True  # dynamic call; can't see inside, don't flag
+        if _CLAMP_FUNCS.match(name):
+            return True
+        if name in ("min", "max"):
+            opposite = "max" if name == "min" else "min"
+            return any(
+                isinstance(arg, ast.Call)
+                and _call_simple_name(arg) in (opposite,)
+                or (
+                    isinstance(arg, ast.Call)
+                    and (_call_simple_name(arg) or "").startswith("clamp")
+                )
+                for arg in node.args
+            )
+        return True  # some other producer function: checked at its returns
+    return False  # arithmetic, comparisons, subscripts, ...
+
+
+@register
+class ProbabilityDomainRule(Rule):
+    """Writes/returns of probabilities must be clamp-dominated."""
+
+    name = "PROB"
+    severity = Severity.ERROR
+    description = (
+        "probability assignments and probability-function returns in "
+        "aqm/ and core/ must be dominated by a [0,1] clamp "
+        "(repro.aqm.base.clamp_unit)"
+    )
+    packages = ("aqm", "core")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield from self._check_store(source, target, node.value, node)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                yield from self._check_store(source, node.target, node.value, node)
+            elif isinstance(node, ast.AugAssign):
+                yield from self._check_aug(source, node)
+            elif (
+                isinstance(node, ast.FunctionDef)
+                and _is_p_name(node.name)
+                and not _is_predicate(node)
+            ):
+                yield from self._check_returns(source, node)
+
+    def _check_store(
+        self, source: SourceFile, target: ast.AST, value: ast.AST, node: ast.AST
+    ) -> Iterator[Finding]:
+        name = _target_p_name(target)
+        if name is None or _is_clamped(value):
+            return
+        yield self.finding(
+            source,
+            node,
+            f"probability {name!r} assigned from unclamped arithmetic; "
+            "wrap the expression in repro.aqm.base.clamp_unit(...) (or "
+            "min(max(...), ...)) so it cannot leave [0, 1]",
+        )
+
+    def _check_aug(self, source: SourceFile, node: ast.AugAssign) -> Iterator[Finding]:
+        name = _target_p_name(node.target)
+        if name is None or isinstance(node.target, ast.Name):
+            return  # local accumulators are clamped at the attribute store
+        yield self.finding(
+            source,
+            node,
+            f"augmented assignment accumulates into probability {name!r} "
+            "without a clamp; accumulate in a local and store through "
+            "clamp_unit(...)",
+        )
+
+    def _check_returns(
+        self, source: SourceFile, func: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Return) and node.value is not None:
+                if not _is_clamped(node.value):
+                    yield self.finding(
+                        source,
+                        node,
+                        f"probability function {func.name!r} returns "
+                        "unclamped arithmetic; wrap in clamp_unit(...)",
+                    )

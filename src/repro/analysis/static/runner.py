@@ -1,0 +1,173 @@
+"""Orchestration for ``repro check``: walk files, run rules, render output.
+
+Entry points:
+
+* :func:`analyze_paths` — the programmatic API (also used by the perf
+  harness to record rule/finding counts in ``BENCH_<date>.json``);
+* :func:`run_check` — the CLI body behind ``repro check`` and
+  ``tools/run_static_analysis.py``; returns a process exit code
+  (0 = clean, 1 = findings, 2 = usage error).
+
+The JSON output schema (``--format json``) is versioned and locked by
+``tests/analysis/test_static_analysis.py``::
+
+    {
+      "schema": 1,
+      "files_checked": 63,
+      "rules": {"DET": "...", "ORD": "...", ...},
+      "counts": {"DET": 0, ...},
+      "findings": [{"rule", "severity", "path", "line", "col", "message"}],
+      "suppressed": [... same shape ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import repro
+from repro.analysis.static import rules as _rules  # noqa: F401  (registers rules)
+from repro.analysis.static.core import RULES, Finding, Rule, SourceFile, check_source
+
+__all__ = [
+    "Report",
+    "default_target",
+    "iter_python_files",
+    "analyze_paths",
+    "run_check",
+    "JSON_SCHEMA_VERSION",
+]
+
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass
+class Report:
+    """Everything one analysis run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Findings per rule (zero-filled for every selected rule)."""
+        counts = {name: 0 for name in self.rules}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_json(self) -> Dict[str, object]:
+        """The versioned ``--format json`` payload."""
+        return {
+            "schema": JSON_SCHEMA_VERSION,
+            "files_checked": self.files_checked,
+            "rules": dict(sorted(self.rules.items())),
+            "counts": dict(sorted(self.counts.items())),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "suppressed": [finding.to_dict() for finding in self.suppressed],
+        }
+
+    def format_human(self) -> str:
+        """Readable report: one line per finding plus a summary line."""
+        lines = [finding.format_human() for finding in self.findings]
+        total = len(self.findings)
+        noun = "finding" if total == 1 else "findings"
+        summary = (
+            f"{total} {noun} in {self.files_checked} files "
+            f"({len(self.rules)} rules, {len(self.suppressed)} suppressed)"
+        )
+        lines.append(summary if total else f"OK: {summary}")
+        return "\n".join(lines)
+
+
+def default_target() -> Path:
+    """The installed ``repro`` package directory (what CI checks)."""
+    return Path(repro.__file__).parent
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Sorted traversal keeps report order (and the JSON payload) identical
+    across filesystems — the checker holds itself to its own ORD rule.
+    """
+    seen = {}
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            continue
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            seen[candidate.resolve()] = candidate
+    return [seen[key] for key in sorted(seen)]
+
+
+def select_rules(names: Optional[Sequence[str]]) -> List[Rule]:
+    """Resolve ``--rules`` tokens against the registry (case-insensitive)."""
+    if not names:
+        return list(RULES.values())
+    selected = []
+    for name in names:
+        token = name.strip().upper()
+        if not token:
+            continue
+        if token not in RULES:
+            raise KeyError(
+                f"unknown rule {name!r} (known: {', '.join(sorted(RULES))})"
+            )
+        selected.append(RULES[token])
+    return selected
+
+
+def analyze_paths(
+    paths: Optional[Sequence[Path]] = None,
+    rule_names: Optional[Sequence[str]] = None,
+) -> Report:
+    """Run the selected rules over every Python file under ``paths``."""
+    targets = [Path(p) for p in paths] if paths else [default_target()]
+    rules = select_rules(rule_names)
+    report = Report(rules={rule.name: rule.description for rule in rules})
+    for file_path in iter_python_files(targets):
+        source = SourceFile(file_path)
+        findings, suppressed = check_source(source, rules)
+        report.findings.extend(findings)
+        report.suppressed.extend(suppressed)
+        report.files_checked += 1
+    return report
+
+
+def run_check(
+    paths: Optional[Sequence[str]] = None,
+    rule_names: Optional[Sequence[str]] = None,
+    output_format: str = "human",
+    list_rules: bool = False,
+    out=None,
+) -> int:
+    """CLI body for ``repro check``; returns a process exit code."""
+    out = out or sys.stdout
+    if list_rules:
+        for name in sorted(RULES):
+            print(f"{name:7s} {RULES[name].description}", file=out)
+        return 0
+    try:
+        report = analyze_paths(
+            [Path(p) for p in paths] if paths else None, rule_names
+        )
+    except KeyError as exc:
+        print(f"repro check: {exc.args[0]}", file=out)
+        return 2
+    if output_format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True), file=out)
+    else:
+        print(report.format_human(), file=out)
+    return 1 if report.findings else 0

@@ -29,6 +29,7 @@ from typing import Callable, Optional
 from repro.aqm.base import AQM, Decision
 from repro.aqm.pi import PIController
 from repro.net.packet import Packet
+from repro.sim.random import default_stream
 
 __all__ = ["AdaptivePiAqm"]
 
@@ -62,7 +63,7 @@ class AdaptivePiAqm(AQM):
         self.tuner = tuner or (lambda p: math.sqrt(2.0 * p))
         self.tune_min = tune_min
         self.ecn = ecn
-        self.rng = rng or random.Random(0)
+        self.rng = rng or default_stream()
 
     def update(self) -> None:
         """Recompute ``p`` with the gains scaled by ``tune(p)``."""

@@ -22,14 +22,62 @@ and PIE's measured departure-rate estimator.
 from __future__ import annotations
 
 import enum
+import math
 from typing import TYPE_CHECKING, Optional, Protocol
+
+from repro.errors import ControllerDivergence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.net.packet import Packet
     from repro.sim.engine import Simulator
 
 
-__all__ = ["Decision", "QueueView", "AQM", "AQMStats"]
+__all__ = [
+    "Decision",
+    "QueueView",
+    "AQM",
+    "AQMStats",
+    "clamp_unit",
+    "guard_finite",
+    "is_unit_probability",
+]
+
+
+def clamp_unit(value: float, upper: float = 1.0) -> float:
+    """Clamp ``value`` into ``[0, upper]`` (``upper`` defaults to 1).
+
+    The single clamp used at every probability write in the AQM layer, so
+    the ``p ∈ [0, 1]`` domain invariant (and ``p ≤ p_max`` caps) is
+    enforced in one place.  ``min(max(...))`` ordering makes NaN propagate
+    rather than silently saturate — non-finite candidates must be rejected
+    *before* clamping (see :func:`guard_finite`).
+    """
+    return min(max(value, 0.0), upper)
+
+
+def guard_finite(value: float, message: str, component: str, **context: object) -> float:
+    """Return ``value`` unchanged, raising ``ControllerDivergence`` if it
+    is not finite.
+
+    Shared by the controllers (reject NaN/inf *inputs and candidates*
+    before they are clamped into the drop probability) and anything else
+    that needs the same divergence semantics.  ``context`` is attached to
+    the raised error for diagnosis.
+    """
+    if not math.isfinite(value):
+        raise ControllerDivergence(message, component=component, context=dict(context))
+    return value
+
+
+def is_unit_probability(value: float) -> bool:
+    """True iff ``value`` is a finite probability in ``[0, 1]``.
+
+    The read-side twin of :func:`clamp_unit`: the runtime invariant
+    checker (:mod:`repro.sim.invariants`) uses it to verify that every
+    probability an AQM exposes actually satisfies the domain the write
+    side enforces.
+    """
+    return math.isfinite(value) and 0.0 <= value <= 1.0
 
 
 class Decision(enum.Enum):

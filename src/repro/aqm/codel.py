@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
-from repro.aqm.base import AQM, Decision
+from repro.aqm.base import AQM, Decision, clamp_unit
 from repro.net.packet import Packet
 
 __all__ = ["CodelAqm"]
@@ -99,4 +99,4 @@ class CodelAqm(AQM):
         """
         if not self.dropping:
             return 0.0
-        return min(1.0, math.sqrt(self.count) * self.target / self.interval)
+        return clamp_unit(math.sqrt(self.count) * self.target / self.interval)

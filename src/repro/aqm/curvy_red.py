@@ -21,8 +21,9 @@ from __future__ import annotations
 import random
 from typing import Optional
 
-from repro.aqm.base import AQM, Decision
+from repro.aqm.base import AQM, Decision, clamp_unit
 from repro.net.packet import Packet
+from repro.sim.random import default_stream
 
 __all__ = ["CurvyRedAqm"]
 
@@ -53,12 +54,12 @@ class CurvyRedAqm(AQM):
             raise ValueError(f"k_curvy must be positive (got {k_curvy})")
         self.range_delay = range_delay
         self.k_curvy = k_curvy
-        self.rng = rng or random.Random(0)
+        self.rng = rng or default_stream()
 
     # ------------------------------------------------------------------
     def _ps(self) -> float:
         q = self.queue.queue_delay()
-        return min(1.0, q / (self.k_curvy * self.range_delay))
+        return clamp_unit(q / (self.k_curvy * self.range_delay))
 
     def on_enqueue(self, packet: Packet) -> Decision:
         """Curvy RED verdict: linear ``ps`` for Scalable, squared for Classic."""
@@ -67,7 +68,7 @@ class CurvyRedAqm(AQM):
             if ps > 0.0 and self.rng.random() < ps:
                 return Decision.MARK
             return Decision.PASS
-        pc_prime = ps / 2.0
+        pc_prime = clamp_unit(ps / 2.0)
         if pc_prime > 0.0 and max(self.rng.random(), self.rng.random()) < pc_prime:
             return Decision.MARK if packet.ecn_capable else Decision.DROP
         return Decision.PASS
@@ -80,4 +81,4 @@ class CurvyRedAqm(AQM):
     @property
     def classic_probability(self) -> float:
         """Classic-branch signal probability ``(ps/2)²`` (equation 14)."""
-        return (self._ps() / 2.0) ** 2
+        return clamp_unit((self._ps() / 2.0) ** 2)

@@ -32,11 +32,13 @@ import random
 from collections import deque
 from typing import Callable, Optional
 
+from repro.aqm.base import clamp_unit
 from repro.aqm.pi import PIController
 from repro.core.coupling import K_DEPLOYED
 from repro.net.packet import Packet
 from repro.net.queue import CapacityDelayEstimator, QueueStats
 from repro.sim.engine import Simulator
+from repro.sim.random import default_stream
 
 __all__ = ["DualQueueCoupledAqm"]
 
@@ -82,7 +84,7 @@ class DualQueueCoupledAqm:
         self.k = k
         self.l_threshold = l_threshold
         self.tshift = tshift
-        self.rng = rng or random.Random(0)
+        self.rng = rng or default_stream()
         self.on_sojourn = on_sojourn
         self.stats = QueueStats()
         self.l_stats = QueueStats()
@@ -105,12 +107,12 @@ class DualQueueCoupledAqm:
     @property
     def probability(self) -> float:
         """Coupled L marking probability ``k·p'`` (clamped)."""
-        return min(1.0, self.k * self.controller.p)
+        return clamp_unit(self.k * self.controller.p)
 
     @property
     def classic_probability(self) -> float:
         """Classic drop/mark probability ``p'²``."""
-        return self.controller.p ** 2
+        return clamp_unit(self.controller.p ** 2)
 
     # ------------------------------------------------------------------
     # Queue-side interface consumed by Link
@@ -148,7 +150,7 @@ class DualQueueCoupledAqm:
         p_prime = self.controller.p
         if packet.is_scalable:
             self.l_stats.arrived += 1
-            p_l = min(1.0, self.k * p_prime)
+            p_l = clamp_unit(self.k * p_prime)
             native = self.estimator.delay(self._l_bytes) > self.l_threshold
             if native or (p_l > 0.0 and self.rng.random() < p_l):
                 packet.mark_ce()

@@ -19,8 +19,9 @@ from __future__ import annotations
 import random
 from typing import Optional
 
-from repro.aqm.base import AQM, Decision
+from repro.aqm.base import AQM, Decision, clamp_unit
 from repro.net.packet import Packet
+from repro.sim.random import default_stream
 
 __all__ = ["FixedProbabilityAqm", "DeterministicMarker"]
 
@@ -33,7 +34,7 @@ class FixedProbabilityAqm(AQM):
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"probability must be in [0,1] (got {p})")
         self.p = p
-        self.rng = rng or random.Random(0)
+        self.rng = rng or default_stream()
         self.ecn = ecn
 
     def on_enqueue(self, packet: Packet) -> Decision:
@@ -81,4 +82,4 @@ class DeterministicMarker(AQM):
     @property
     def probability(self) -> float:
         """Effective signal rate ``1/interval`` (p rounded to a spacing)."""
-        return 1.0 / self.interval
+        return clamp_unit(1.0 / self.interval)

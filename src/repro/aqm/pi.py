@@ -24,13 +24,12 @@ Two roles in the paper:
 
 from __future__ import annotations
 
-import math
 import random
 from typing import Optional
 
-from repro.aqm.base import AQM, Decision
-from repro.errors import ControllerDivergence
+from repro.aqm.base import AQM, Decision, clamp_unit, guard_finite
 from repro.net.packet import Packet
+from repro.sim.random import default_stream
 
 __all__ = ["PIController", "PiAqm"]
 
@@ -82,29 +81,27 @@ class PIController:
         (e.g. a broken departure-rate measurement) would otherwise poison
         ``p`` and every later update while the run appears to succeed.
         """
-        if not math.isfinite(delay):
-            raise ControllerDivergence(
-                f"queue-delay input to PI update is not finite: {delay!r}",
-                component="PIController",
-                context={"p": self.p, "prev_delay": self.prev_delay},
-            )
+        guard_finite(
+            delay,
+            f"queue-delay input to PI update is not finite: {delay!r}",
+            component="PIController",
+            p=self.p,
+            prev_delay=self.prev_delay,
+        )
         delta = (
             self.alpha * (delay - self.target)
             + self.beta * (delay - self.prev_delay)
         ) * gain_scale
-        p_new = self.p + delta
-        if not math.isfinite(p_new):
-            raise ControllerDivergence(
-                f"PI update produced a non-finite probability: {p_new!r}",
-                component="PIController",
-                context={
-                    "p": self.p,
-                    "delay": delay,
-                    "delta": delta,
-                    "gain_scale": gain_scale,
-                },
-            )
-        self.p = min(max(p_new, 0.0), self.p_max)
+        candidate = guard_finite(
+            self.p + delta,
+            f"PI update produced a non-finite probability: {self.p + delta!r}",
+            component="PIController",
+            p=self.p,
+            delay=delay,
+            delta=delta,
+            gain_scale=gain_scale,
+        )
+        self.p = clamp_unit(candidate, self.p_max)
         self.prev_delay = delay
         return self.p
 
@@ -136,7 +133,7 @@ class PiAqm(AQM):
         self.controller = PIController(alpha, beta, target_delay, p_max)
         self.update_interval = update_interval
         self.ecn = ecn
-        self.rng = rng or random.Random(0)
+        self.rng = rng or default_stream()
 
     def update(self) -> None:
         """Periodic PI step: recompute ``p`` from the current queue delay."""

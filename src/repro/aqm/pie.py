@@ -36,6 +36,7 @@ from repro.aqm.base import AQM, Decision
 from repro.aqm.pi import PIController
 from repro.aqm.tune_table import tune
 from repro.net.packet import Packet
+from repro.sim.random import default_stream
 
 __all__ = ["PieAqm", "BarePieAqm"]
 
@@ -95,7 +96,7 @@ class PieAqm(AQM):
         self.drop_early_suppress = drop_early_suppress
         self.decay_enabled = decay_enabled
         self.min_backlog_packets = min_backlog_packets
-        self.rng = rng or random.Random(0)
+        self.rng = rng or default_stream()
 
         self.burst_allowance = max_burst
         self._qdelay = 0.0

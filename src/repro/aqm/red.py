@@ -23,8 +23,9 @@ from __future__ import annotations
 import random
 from typing import Optional
 
-from repro.aqm.base import AQM, Decision
+from repro.aqm.base import AQM, Decision, clamp_unit
 from repro.net.packet import Packet
+from repro.sim.random import default_stream
 
 __all__ = ["RedAqm"]
 
@@ -72,7 +73,7 @@ class RedAqm(AQM):
         self.gentle = gentle
         self.ecn = ecn
         self.count_spread = count_spread
-        self.rng = rng or random.Random(0)
+        self.rng = rng or default_stream()
         self.avg = 0.0
         self._count = -1
 
@@ -80,9 +81,13 @@ class RedAqm(AQM):
         if self.avg < self.min_th:
             return 0.0
         if self.avg < self.max_th:
-            return self.max_p * (self.avg - self.min_th) / (self.max_th - self.min_th)
+            return clamp_unit(
+                self.max_p * (self.avg - self.min_th) / (self.max_th - self.min_th)
+            )
         if self.gentle and self.avg < 2 * self.max_th:
-            return self.max_p + (1 - self.max_p) * (self.avg - self.max_th) / self.max_th
+            return clamp_unit(
+                self.max_p + (1 - self.max_p) * (self.avg - self.max_th) / self.max_th
+            )
         return 1.0
 
     def on_enqueue(self, packet: Packet) -> Decision:
@@ -96,7 +101,7 @@ class RedAqm(AQM):
         self._count += 1
         if self.count_spread:
             denom = 1.0 - self._count * p
-            pa = 1.0 if denom <= 0 else min(p / denom, 1.0)
+            pa = 1.0 if denom <= 0 else clamp_unit(p / denom)
         else:
             pa = p
         if self.rng.random() >= pa:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.aqm.base import AQM, Decision
+from repro.aqm.base import AQM, Decision, clamp_unit
 from repro.net.packet import Packet
 
 __all__ = ["StepThresholdAqm"]
@@ -78,4 +78,4 @@ class StepThresholdAqm(AQM):
     @property
     def probability(self) -> float:
         """Observed lifetime marking fraction (the p of equation (12))."""
-        return self.marked / self.seen if self.seen else 0.0
+        return clamp_unit(self.marked / self.seen) if self.seen else 0.0

@@ -143,6 +143,22 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--profile", action="store_true",
                        help="also print a cProfile report of one experiment run")
 
+    check = sub.add_parser(
+        "check",
+        help="run the domain static-analysis rules (DET/ORD/PROB/SCHED/PICKLE)",
+    )
+    check.add_argument("paths", nargs="*", metavar="PATH",
+                       help="files or directories to check "
+                            "(default: the installed repro package)")
+    check.add_argument("--rules", metavar="NAMES",
+                       help="comma-separated rule subset (e.g. DET,PROB)")
+    check.add_argument("--format", choices=["human", "json"], default="human",
+                       dest="output_format",
+                       help="report format (json is versioned; see "
+                            "docs/STATIC_ANALYSIS.md)")
+    check.add_argument("--list-rules", action="store_true",
+                       help="print the rule catalogue and exit")
+
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("--cache-dir", metavar="DIR",
                        help="cache location (default: $REPRO_CACHE_DIR or "
@@ -235,6 +251,19 @@ def _cmd_bench(args, out) -> int:
         print(f"DETERMINISM REGRESSION in: {', '.join(mismatches)}", file=out)
         return 1
     return 0
+
+
+def _cmd_check(args, out) -> int:
+    from repro.analysis.static import run_check
+
+    rule_names = args.rules.split(",") if args.rules else None
+    return run_check(
+        paths=args.paths or None,
+        rule_names=rule_names,
+        output_format=args.output_format,
+        list_rules=args.list_rules,
+        out=out,
+    )
 
 
 def _cmd_cache(args, out) -> int:
@@ -394,6 +423,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_figure(args, out)
     if args.command == "bench":
         return _cmd_bench(args, out)
+    if args.command == "check":
+        return _cmd_check(args, out)
     if args.command == "cache":
         return _cmd_cache(args, out)
     if args.command == "bode":

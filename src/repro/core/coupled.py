@@ -29,10 +29,11 @@ from __future__ import annotations
 import random
 from typing import Optional
 
-from repro.aqm.base import AQM, Decision
+from repro.aqm.base import AQM, Decision, clamp_unit
 from repro.aqm.pi import PIController
 from repro.core.coupling import K_DEPLOYED
 from repro.net.packet import Packet
+from repro.sim.random import default_stream
 
 __all__ = ["CoupledPi2Aqm", "DEFAULT_ALPHA_COUPLED", "DEFAULT_BETA_COUPLED"]
 
@@ -62,7 +63,7 @@ class CoupledPi2Aqm(AQM):
         self.controller = PIController(alpha, beta, target_delay, p_max=ps_max)
         self.update_interval = update_interval
         self.k = k
-        self.rng = rng or random.Random(0)
+        self.rng = rng or default_stream()
         # Per-class signal accounting (Figure 17 plots these separately).
         self.scalable_marked = 0
         self.scalable_seen = 0
@@ -84,7 +85,7 @@ class CoupledPi2Aqm(AQM):
             return Decision.PASS
         # Classic branch: coupled and squared, think twice.
         self.classic_seen += 1
-        pc_prime = ps / self.k
+        pc_prime = clamp_unit(ps / self.k)
         if pc_prime > 0.0 and max(self.rng.random(), self.rng.random()) < pc_prime:
             self.classic_signalled += 1
             if packet.ecn_capable:
@@ -101,7 +102,7 @@ class CoupledPi2Aqm(AQM):
     @property
     def classic_probability(self) -> float:
         """Classic drop/mark probability ``pc = (ps/k)²`` (equation 14)."""
-        return (self.controller.p / self.k) ** 2
+        return clamp_unit((self.controller.p / self.k) ** 2)
 
     @property
     def raw_probability(self) -> float:

@@ -39,9 +39,10 @@ import math
 import random
 from typing import Optional
 
-from repro.aqm.base import AQM, Decision
+from repro.aqm.base import AQM, Decision, clamp_unit
 from repro.aqm.pi import PIController
 from repro.net.packet import Packet
+from repro.sim.random import default_stream
 
 __all__ = ["Pi2Aqm", "DEFAULT_ALPHA_PI2", "DEFAULT_BETA_PI2"]
 
@@ -95,7 +96,7 @@ class Pi2Aqm(AQM):
         self.classic_p_max = classic_p_max
         self.decision_mode = decision_mode
         self.ecn = ecn
-        self.rng = rng or random.Random(0)
+        self.rng = rng or default_stream()
 
     # ------------------------------------------------------------------
     def update(self) -> None:
@@ -122,7 +123,7 @@ class Pi2Aqm(AQM):
     @property
     def probability(self) -> float:
         """The applied Classic probability ``p = p'²`` (Figure 17's metric)."""
-        return self.controller.p ** 2
+        return clamp_unit(self.controller.p ** 2)
 
     @property
     def raw_probability(self) -> float:

@@ -200,13 +200,14 @@ class ResultCache:
     def __len__(self) -> int:
         if not self.root.exists():
             return 0
+        # repro: allow[ORD] order-independent count; sorting would only add IO
         return sum(1 for _ in self.root.glob("*/*.pkl"))
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
         removed = 0
         if self.root.exists():
-            for path in self.root.glob("*/*.pkl"):
+            for path in sorted(self.root.glob("*/*.pkl")):
                 try:
                     path.unlink()
                     removed += 1

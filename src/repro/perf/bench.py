@@ -348,7 +348,23 @@ def run_benchmarks(
             "platform": platform.platform(),
             "cpus": os.cpu_count(),
         },
+        "static_analysis": _static_analysis_summary(),
         "benchmarks": [record.to_dict() for record in records],
+    }
+
+
+def _static_analysis_summary() -> Dict[str, object]:
+    """``repro check`` counts recorded alongside the perf numbers, so a
+    BENCH file also certifies whether the measured tree was lint-clean."""
+    from repro.analysis.static import analyze_paths
+
+    report = analyze_paths()
+    return {
+        "rules": len(report.rules),
+        "files_checked": report.files_checked,
+        "findings": len(report.findings),
+        "suppressed": len(report.suppressed),
+        "counts": dict(sorted(report.counts.items())),
     }
 
 

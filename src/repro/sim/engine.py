@@ -428,6 +428,7 @@ class Simulator:
             else None
         )
         wall_limit = watchdog.max_wall_seconds if watchdog is not None else None
+        # repro: allow[DET] watchdog wall-time budget; never feeds simulation state
         wall_start = time.monotonic() if wall_limit is not None else 0.0
         self._running = True
         self._horizon = until
@@ -442,6 +443,7 @@ class Simulator:
         heap = self._heap
         streams = self._streams
         heappop = heapq.heappop
+        # repro: allow[DET] hot-loop local for the watchdog's wall-time check only
         monotonic = time.monotonic
         stride = Watchdog.WALL_CHECK_STRIDE
         processed = self._events_processed

@@ -27,9 +27,9 @@ enough to leave on outside of benchmark runs.
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
+from repro.aqm.base import is_unit_probability
 from repro.errors import InvariantViolation
 from repro.sim.engine import Simulator
 
@@ -172,7 +172,7 @@ class InvariantChecker:
             value = getattr(self.aqm, name, None)
             if value is None:
                 continue
-            if not math.isfinite(value) or not 0.0 <= value <= 1.0:
+            if not is_unit_probability(value):
                 raise self._violation(
                     "probability_range",
                     f"AQM {name} out of range: {value!r}",

@@ -21,7 +21,7 @@ import hashlib
 import random
 from typing import Dict
 
-__all__ = ["RandomStreams"]
+__all__ = ["RandomStreams", "default_stream"]
 
 
 class RandomStreams:
@@ -61,3 +61,17 @@ class RandomStreams:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<RandomStreams seed={self.seed} streams={len(self._streams)}>"
+
+
+def default_stream(seed: int = 0) -> random.Random:
+    """A deterministic fallback stream for components built without a
+    :class:`RandomStreams` factory (direct construction in unit tests,
+    standalone scripts).
+
+    Harness-built experiments always inject a named stream; this exists so
+    the ``rng or default_stream()`` fallback in AQM constructors is still a
+    pure function of ``seed`` rather than of process entropy.  Bit-identical
+    to the historical ``random.Random(0)`` fallback.
+    """
+    # repro: allow[DET] this is the sanctioned seeded-fallback constructor
+    return random.Random(seed)

@@ -1,0 +1,119 @@
+"""Probability-domain property sweep: under extreme gains, adversarial
+delay inputs and sub-unit coupling factors, every probability an AQM
+writes or exposes stays a finite value in [0, 1].
+
+This is the runtime counterpart of the PROB static rule: the rule proves
+every write site is clamp-dominated; these sweeps exercise the clamps
+with inputs chosen to overflow the raw arithmetic (the coupled law
+``pc = (ps/k)²`` exceeds 1 whenever ``ps > k``, e.g. k < 1 at
+saturation).
+"""
+
+import itertools
+
+import pytest
+
+from repro.aqm.base import clamp_unit, guard_finite, is_unit_probability
+from repro.aqm.pi import PIController
+from repro.aqm.red import RedAqm
+from repro.core.coupled import CoupledPi2Aqm
+from repro.errors import ControllerDivergence
+
+ALPHAS = [0.01, 0.125, 0.3125, 5.0, 100.0]
+BETAS = [0.1, 1.25, 3.125, 50.0, 1000.0]
+#: Adversarial delay traces: step, impulse, ramp, oscillation.
+DELAY_TRACES = [
+    [0.5] * 40,
+    [0.0] * 5 + [10.0] + [0.0] * 34,
+    [i * 0.05 for i in range(40)],
+    [0.0 if i % 2 else 5.0 for i in range(40)],
+]
+
+
+class TestControllerSweep:
+    @pytest.mark.parametrize("alpha,beta", itertools.product(ALPHAS, BETAS))
+    def test_pi_output_in_unit_interval_for_all_gains(self, alpha, beta):
+        for trace in DELAY_TRACES:
+            controller = PIController(alpha, beta, target=0.020)
+            for delay in trace:
+                p = controller.update(delay)
+                assert is_unit_probability(p), (alpha, beta, delay, p)
+
+    @pytest.mark.parametrize("p_max", [0.1, 0.5, 1.0])
+    def test_p_max_cap_respected(self, p_max):
+        controller = PIController(alpha=100.0, beta=1000.0, target=0.02, p_max=p_max)
+        for _ in range(50):
+            assert controller.update(5.0) <= p_max
+
+    def test_gain_scale_cannot_escape_domain(self):
+        controller = PIController(alpha=5.0, beta=50.0, target=0.02)
+        for scale in (1e-6, 1.0, 1e6):
+            p = controller.update(3.0, gain_scale=scale)
+            assert is_unit_probability(p)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_delay_raises_not_clamps(self, bad):
+        controller = PIController(alpha=0.3125, beta=3.125, target=0.02)
+        with pytest.raises(ControllerDivergence):
+            controller.update(bad)
+        # The divergence must not have poisoned the retained state.
+        assert is_unit_probability(controller.p)
+
+
+class TestCoupledSweep:
+    @pytest.mark.parametrize("k", [0.25, 0.5, 1.0, 1.19, 2.0, 4.0])
+    def test_classic_probability_clamped_for_all_k(self, k):
+        """The satellite case: k < 1 makes raw (ps/k)² exceed 1 at high ps."""
+        aqm = CoupledPi2Aqm(alpha=100.0, beta=1000.0, k=k)
+        # Drive the controller to saturation with a huge sustained delay.
+        for _ in range(100):
+            aqm.controller.update(5.0)
+        assert aqm.controller.p == pytest.approx(1.0)
+        assert is_unit_probability(aqm.probability)
+        assert is_unit_probability(aqm.classic_probability), k
+        if k >= 1.0:
+            assert aqm.classic_probability == pytest.approx((1.0 / k) ** 2)
+        else:
+            assert aqm.classic_probability == 1.0  # clamp engaged
+
+    def test_red_instant_probability_in_unit_interval(self):
+        aqm = RedAqm()
+        for avg in [0.0, 0.005, 0.015, 0.030, 0.045, 0.059, 0.1, 10.0]:
+            aqm.avg = avg
+            assert is_unit_probability(aqm.probability), avg
+
+
+class TestSharedHelpers:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(-1.0, 0.0), (0.0, 0.0), (0.25, 0.25), (1.0, 1.0), (7.0, 1.0)],
+    )
+    def test_clamp_unit(self, value, expected):
+        assert clamp_unit(value) == expected
+
+    def test_clamp_unit_upper_bound(self):
+        assert clamp_unit(0.9, upper=0.5) == 0.5
+        assert clamp_unit(-0.1, upper=0.5) == 0.0
+
+    def test_guard_finite_passes_value_through(self):
+        assert guard_finite(0.3, "unused", component="test") == 0.3
+
+    def test_guard_finite_raises_with_context(self):
+        with pytest.raises(ControllerDivergence) as excinfo:
+            guard_finite(float("nan"), "boom", component="test", p=0.5)
+        assert excinfo.value.context == {"p": 0.5}
+
+    @pytest.mark.parametrize(
+        "value,ok",
+        [
+            (0.0, True),
+            (1.0, True),
+            (0.5, True),
+            (-0.01, False),
+            (1.01, False),
+            (float("nan"), False),
+            (float("inf"), False),
+        ],
+    )
+    def test_is_unit_probability(self, value, ok):
+        assert is_unit_probability(value) is ok

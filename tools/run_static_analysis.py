@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""CI entry point for the static gates: ``repro check`` + the mypy ratchet.
+
+Two phases, one exit code:
+
+1. **Domain rules** — run the :mod:`repro.analysis.static` rules
+   (DET/ORD/PROB/SCHED/PICKLE) over ``src/repro``; any unsuppressed
+   finding fails the build.
+2. **Typing** — run mypy over ``src/repro`` using the ``[tool.mypy]``
+   configuration in ``pyproject.toml`` (strict-level flags for
+   ``repro.sim`` / ``repro.aqm`` / ``repro.metrics``, lenient elsewhere)
+   and compare the error count against ``tools/mypy_ratchet.json``:
+
+   * ``max_errors: null`` — report-only: the baseline has not been
+     recorded yet, so the count is printed but never fails the build;
+   * ``max_errors: N`` — the count must not exceed N.  Lower N as debt is
+     paid down; ``--update-ratchet`` rewrites the file with the measured
+     count.
+
+   When mypy is not installed (the pinned simulation container has no
+   network access), the phase is skipped with a note — the domain rules
+   still gate.
+
+Usage::
+
+    python tools/run_static_analysis.py [--format human|json]
+                                        [--skip-mypy] [--update-ratchet]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RATCHET_PATH = REPO_ROOT / "tools" / "mypy_ratchet.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def run_domain_rules(output_format: str) -> int:
+    """Phase 1: the repro check rules; returns the number of findings."""
+    from repro.analysis.static import analyze_paths
+
+    report = analyze_paths([REPO_ROOT / "src" / "repro"])
+    if output_format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.format_human())
+    return len(report.findings)
+
+
+def run_mypy(update_ratchet: bool) -> int:
+    """Phase 2: the typing ratchet; returns 0 ok / 1 over-budget."""
+    try:
+        from mypy import api as mypy_api
+    except ImportError:
+        print("mypy: not installed; skipping the typing gate")
+        return 0
+
+    stdout, stderr, _status = mypy_api.run(
+        ["--config-file", str(REPO_ROOT / "pyproject.toml"),
+         str(REPO_ROOT / "src" / "repro")]
+    )
+    errors = sum(1 for line in stdout.splitlines() if ": error:" in line)
+    if stderr.strip():
+        print(stderr.strip())
+    print(f"mypy: {errors} error(s)")
+
+    ratchet = json.loads(RATCHET_PATH.read_text()) if RATCHET_PATH.exists() else {}
+    ceiling = ratchet.get("max_errors")
+
+    if update_ratchet:
+        ratchet["max_errors"] = errors
+        RATCHET_PATH.write_text(json.dumps(ratchet, indent=2, sort_keys=True) + "\n")
+        print(f"mypy: ratchet updated to {errors} in {RATCHET_PATH}")
+        return 0
+    if ceiling is None:
+        print("mypy: no baseline recorded (max_errors: null) — report only; "
+              "run with --update-ratchet to start gating")
+        return 0
+    if errors > ceiling:
+        print(f"mypy: FAIL — {errors} error(s) exceeds the ratchet ceiling "
+              f"of {ceiling}; fix the new errors or (only for justified "
+              f"debt) raise {RATCHET_PATH.name}")
+        for line in stdout.splitlines():
+            if ": error:" in line:
+                print(f"  {line}")
+        return 1
+    if errors < ceiling:
+        print(f"mypy: {ceiling - errors} error(s) below the ceiling — "
+              "consider lowering the ratchet (--update-ratchet)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--format", choices=["human", "json"], default="human",
+                        dest="output_format")
+    parser.add_argument("--skip-mypy", action="store_true",
+                        help="run only the domain rules")
+    parser.add_argument("--update-ratchet", action="store_true",
+                        help="rewrite tools/mypy_ratchet.json with the "
+                             "measured mypy error count")
+    args = parser.parse_args(argv)
+
+    findings = run_domain_rules(args.output_format)
+    mypy_rc = 0 if args.skip_mypy else run_mypy(args.update_ratchet)
+    return 1 if findings or mypy_rc else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
