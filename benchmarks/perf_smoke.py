@@ -84,6 +84,46 @@ def test_batched_links_match_unbatched_bit_exact():
     assert logical_on == off.bed.sim.events_processed
 
 
+def test_supervised_matches_serial_bit_exact():
+    """The watchdogged backend must be invisible in the results."""
+    serial = run_coexistence_grid(coupled_factory(), seed=7, **TINY_GRID)
+    supervised = run_coexistence_grid(
+        coupled_factory(), seed=7, jobs=2, supervised=True, **TINY_GRID
+    )
+    assert _digests(serial) == _digests(supervised)
+    assert supervised.recovery is not None
+    assert supervised.recovery.executed == len(serial)
+
+
+def test_journal_resume_matches_uninterrupted_bit_exact():
+    """A journaled run resumed from its own journal replays every cell
+    without re-simulating, and the digests are bit-identical."""
+    import os
+
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = os.path.join(tmp, "grid.journal")
+        first = run_coexistence_grid(
+            coupled_factory(), seed=7, journal=journal, **TINY_GRID
+        )
+        resumed = run_coexistence_grid(
+            coupled_factory(), seed=7, journal=journal, resume=True, **TINY_GRID
+        )
+        assert _digests(first) == _digests(resumed)
+        assert resumed.recovery.replayed == len(first)
+        assert resumed.recovery.executed == 0
+
+
+def test_journal_overhead_within_gate():
+    """Per-cell fsync'd journaling must cost <5% (or <0.5s absolute)."""
+    from repro.perf import bench_supervised
+
+    record = bench_supervised(grid=TINY_GRID, seed=7)
+    assert record.extra["matches_serial"] is True
+    assert record.extra["matches_resume"] is True
+    assert record.extra["journal_overhead_ok"] is True
+    assert record.extra["journal_bytes"] > 0
+
+
 def test_bench_payload_shape(tmp_path=None):
     from repro.perf import run_benchmarks, write_bench_json
 
@@ -98,6 +138,7 @@ def test_bench_payload_shape(tmp_path=None):
         "grid_parallel",
         "grid_cache_cold",
         "grid_cache_warm",
+        "grid_supervised",
     } <= names
     by_name = {bench["name"]: bench for bench in payload["benchmarks"]}
     assert by_name["grid_parallel"]["matches_serial"] is True
@@ -105,6 +146,9 @@ def test_bench_payload_shape(tmp_path=None):
     assert by_name["link_batching"]["matches_unbatched"] is True
     assert by_name["link_batching"]["events_batched"] > 0
     assert by_name["engine_events"]["events_per_sec"] > 0
+    assert by_name["grid_supervised"]["matches_serial"] is True
+    assert by_name["grid_supervised"]["matches_resume"] is True
+    assert by_name["grid_supervised"]["journal_overhead_ok"] is True
     if tmp_path is not None:
         path = write_bench_json(payload, tmp_path / "BENCH_smoke.json")
         assert path.exists()
@@ -118,6 +162,8 @@ def main() -> int:
     test_parallel_matches_serial_bit_exact()
     test_cached_rerun_matches_and_hits()
     test_batched_links_match_unbatched_bit_exact()
+    test_supervised_matches_serial_bit_exact()
+    test_journal_resume_matches_uninterrupted_bit_exact()
     payload = run_benchmarks(quick=True)
     print(format_bench_table(payload))
     path = write_bench_json(payload)

@@ -113,6 +113,42 @@ def _build_parser() -> argparse.ArgumentParser:
     co.add_argument("--cc-b", default="cubic")
     co.add_argument("--seed", type=int, default=1)
 
+    grid = sub.add_parser(
+        "grid",
+        help="run a link×RTT coexistence grid, optionally supervised/resumable",
+    )
+    grid.add_argument("--aqm", choices=sorted(FACTORIES), default="coupled")
+    grid.add_argument("--links", default="4,12",
+                      help="comma-separated link rates in Mb/s (default: 4,12)")
+    grid.add_argument("--rtts", default="5,10",
+                      help="comma-separated RTTs in ms (default: 5,10)")
+    grid.add_argument("--duration", type=float, default=10.0)
+    grid.add_argument("--cc-a", default="dctcp")
+    grid.add_argument("--cc-b", default="cubic")
+    grid.add_argument("--seed", type=int, default=1)
+    grid.add_argument("--on-error", choices=["raise", "capture"],
+                      default="capture", dest="on_error",
+                      help="capture (default): record failed cells and keep "
+                           "going; raise: first failure aborts the sweep")
+    grid.add_argument("--max-retries", type=int, default=1,
+                      help="seed-bump retries per failing cell (default: 1)")
+    grid.add_argument("--supervised", action="store_true",
+                      help="run cells under the watchdogged backend "
+                           "(per-task timeouts, heartbeats, crash retry)")
+    grid.add_argument("--journal", metavar="PATH",
+                      help="append each completed cell to a crash-safe "
+                           "journal (implies --supervised)")
+    grid.add_argument("--resume", action="store_true",
+                      help="replay cells already in --journal instead of "
+                           "re-simulating them (bit-exact)")
+    grid.add_argument("--task-timeout", type=float, default=None, metavar="S",
+                      help="kill and retry any cell running longer than S "
+                           "wall-clock seconds")
+    grid.add_argument("--heartbeat-timeout", type=float, default=None,
+                      metavar="S",
+                      help="kill and retry a worker silent for S seconds")
+    _add_perf_options(grid)
+
     bode = sub.add_parser("bode", help="gain/phase margins at an operating point")
     bode.add_argument("--kind", choices=sorted(BODE_KINDS), default="reno_pi2")
     bode.add_argument("--p", type=float, default=0.01,
@@ -165,6 +201,8 @@ def _build_parser() -> argparse.ArgumentParser:
                             "~/.cache/repro-pi2)")
     cache.add_argument("--clear", action="store_true",
                        help="delete every cached result")
+    cache.add_argument("--verify", action="store_true",
+                       help="scan every entry, pruning any that fail to load")
 
     fluid = sub.add_parser("fluid", help="fluid-model trajectory (Appendix B)")
     fluid.add_argument("--kind", choices=["reno_pi2", "reno_pi", "scal_pi"],
@@ -246,9 +284,18 @@ def _cmd_bench(args, out) -> int:
         if b.get("matches_serial") is False
         or b.get("matches_cold") is False
         or b.get("matches_unbatched") is False
+        or b.get("matches_resume") is False
     ]
     if mismatches:
         print(f"DETERMINISM REGRESSION in: {', '.join(mismatches)}", file=out)
+        return 1
+    slow_journal = [
+        b["name"] for b in payload["benchmarks"]
+        if b.get("journal_overhead_ok") is False
+    ]
+    if slow_journal:
+        print(f"JOURNAL OVERHEAD REGRESSION in: {', '.join(slow_journal)}",
+              file=out)
         return 1
     return 0
 
@@ -273,9 +320,91 @@ def _cmd_cache(args, out) -> int:
     if args.clear:
         removed = cache.clear()
         print(f"removed {removed} cached result(s) from {cache.root}", file=out)
+    elif args.verify:
+        ok, corrupt = cache.verify(prune=True)
+        print(f"cache dir: {cache.root}", file=out)
+        print(f"verified:  {ok} entr{'y' if ok == 1 else 'ies'} OK", file=out)
+        if corrupt:
+            print(f"pruned {len(corrupt)} corrupt entr"
+                  f"{'y' if len(corrupt) == 1 else 'ies'}:", file=out)
+            for line in corrupt:
+                print(f"  - {line}", file=out)
+            return 1
     else:
         print(f"cache dir: {cache.root}", file=out)
         print(f"entries:   {len(cache)}", file=out)
+    return 0
+
+
+def _cmd_grid(args, out) -> int:
+    from repro.harness.supervisor import SupervisorConfig
+    from repro.harness.sweep import run_coexistence_grid
+
+    links = [float(v) for v in args.links.split(",") if v.strip()]
+    rtts = [float(v) for v in args.rtts.split(",") if v.strip()]
+    supervised = (
+        args.supervised or args.journal is not None or args.resume
+        or args.task_timeout is not None or args.heartbeat_timeout is not None
+    )
+    supervisor = None
+    if supervised:
+        supervisor = SupervisorConfig(
+            task_timeout=args.task_timeout,
+            heartbeat_timeout=args.heartbeat_timeout,
+            max_retries=args.max_retries,
+        )
+    outcome = run_coexistence_grid(
+        FACTORIES[args.aqm](),
+        cc_a=args.cc_a,
+        cc_b=args.cc_b,
+        links_mbps=links,
+        rtts_ms=rtts,
+        duration=args.duration,
+        warmup=min(10.0, args.duration / 2),
+        seed=args.seed,
+        on_error=args.on_error,
+        max_retries=args.max_retries,
+        jobs=args.jobs,
+        cache=_make_cache(args),
+        supervised=supervised,
+        supervisor=supervisor,
+        journal=args.journal,
+        resume=args.resume,
+    )
+    rows = [
+        (
+            cell.link_mbps,
+            cell.rtt_ms,
+            cell.balance(args.cc_a, args.cc_b),
+            cell.result.sojourn_summary()["mean"] * 1e3,
+            cell.result.mean_utilization() * 100,
+        )
+        for cell in outcome
+    ]
+    print(
+        format_table(
+            ["link [Mb/s]", "rtt [ms]", f"{args.cc_b}/{args.cc_a}",
+             "delay [ms]", "util [%]"],
+            rows,
+            title=f"grid aqm={args.aqm} {args.cc_a} vs {args.cc_b} "
+                  f"seed={args.seed}",
+        ),
+        file=out,
+    )
+    if outcome.recovery is not None:
+        report = outcome.recovery
+        print(
+            f"supervised: executed={report.executed} "
+            f"replayed={report.replayed} cache_hits={report.cache_hits} "
+            f"journal_appends={report.journal_appends}"
+            f"{' DEGRADED-TO-SERIAL' if report.degraded else ''}",
+            file=out,
+        )
+        if report.actions:
+            print(report.format_actions(), file=out)
+    if not outcome.complete:
+        print(outcome.failure_report(), file=out)
+        return 1
     return 0
 
 
@@ -427,6 +556,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_check(args, out)
     if args.command == "cache":
         return _cmd_cache(args, out)
+    if args.command == "grid":
+        return _cmd_grid(args, out)
     if args.command == "bode":
         return _cmd_bode(args, out)
     if args.command == "fluid":

@@ -43,6 +43,8 @@ __all__ = [
     "InvariantViolation",
     "ControllerDivergence",
     "ParallelExecutionError",
+    "SupervisorError",
+    "JournalError",
 ]
 
 
@@ -171,3 +173,23 @@ class ParallelExecutionError(ReproError):
         self.error_type = error_type
         self.sim_time = sim_time
         self.component = component
+
+
+class SupervisorError(ReproError):
+    """The supervised execution backend itself failed (not a single task).
+
+    Raised for infrastructure-level problems — e.g. worker processes that
+    cannot be spawned even after degrading to serial execution — as
+    opposed to :class:`ParallelExecutionError`, which reports one task's
+    terminal failure.
+    """
+
+
+class JournalError(ReproError):
+    """The result journal file is unusable (bad magic, wrong schema).
+
+    A *torn final record* — the expected outcome of a crash mid-append —
+    is **not** an error: readers tolerate it and report the intact prefix.
+    This exception covers files that are not journals at all or were
+    written by an incompatible schema.
+    """

@@ -32,13 +32,14 @@ treated as misses and deleted.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import types
 from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.harness.experiment import Experiment
 from repro.harness.frozen import FrozenResult
@@ -55,6 +56,8 @@ __all__ = [
 
 #: Bumped whenever the frozen-result layout or keying scheme changes.
 CACHE_SCHEMA = 1
+
+_log = logging.getLogger("repro.harness.cache")
 
 #: Where the CLI caches by default (overridable via $REPRO_CACHE_DIR).
 DEFAULT_CACHE_DIR = os.environ.get(
@@ -130,14 +133,22 @@ def experiment_cache_key(experiment: Experiment) -> Optional[str]:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters for one :class:`ResultCache` instance."""
+    """Hit/miss/store counters for one :class:`ResultCache` instance.
+
+    ``corrupt`` counts entries that existed on disk but failed to load —
+    each one is logged and treated as a miss (re-simulated), never served.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    corrupt: int = 0
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"hits={self.hits} misses={self.misses} stores={self.stores}"
+        return (
+            f"hits={self.hits} misses={self.misses} "
+            f"stores={self.stores} corrupt={self.corrupt}"
+        )
 
 
 class ResultCache:
@@ -157,7 +168,13 @@ class ResultCache:
 
     # -- access ----------------------------------------------------------
     def get(self, key: str) -> Optional[FrozenResult]:
-        """Look up one entry; corrupt/unreadable entries count as misses."""
+        """Look up one entry; corrupt entries are logged and recomputed.
+
+        A corrupt or unreadable entry (truncated write, schema drift,
+        version skew, wrong object type) is never served: it is logged at
+        WARNING level, counted in ``stats.corrupt``, removed from disk,
+        and reported as a miss so the caller simply re-simulates.
+        """
         path = self._path(key)
         try:
             with path.open("rb") as handle:
@@ -165,19 +182,26 @@ class ResultCache:
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except Exception:
-            # Truncated write, schema drift, version skew: drop and re-run.
-            self.stats.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except Exception as exc:
+            self._drop_corrupt(path, f"{type(exc).__name__}: {exc}")
             return None
         if not isinstance(result, FrozenResult):
-            self.stats.misses += 1
+            self._drop_corrupt(
+                path, f"expected FrozenResult, found {type(result).__name__}"
+            )
             return None
         self.stats.hits += 1
         return result
+
+    def _drop_corrupt(self, path: Path, reason: str) -> None:
+        """Log, count and delete one unusable entry; callers see a miss."""
+        _log.warning("corrupt cache entry %s (%s): recomputing", path, reason)
+        self.stats.corrupt += 1
+        self.stats.misses += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def put(self, key: str, result: FrozenResult) -> None:
         """Store one entry atomically (temp file + rename)."""
@@ -197,6 +221,40 @@ class ResultCache:
         self.stats.stores += 1
 
     # -- maintenance -----------------------------------------------------
+    def verify(self, prune: bool = True) -> Tuple[int, List[str]]:
+        """Scan every entry; return ``(ok_count, corrupt_descriptions)``.
+
+        Each entry is fully unpickled and type-checked — the same
+        validation a :meth:`get` performs, applied to the whole store.
+        With ``prune=True`` (default) corrupt entries are deleted (and
+        counted in ``stats.corrupt``); with ``prune=False`` they are only
+        reported, so a read-only inspection never mutates the store.
+        """
+        ok = 0
+        corrupt: List[str] = []
+        if not self.root.exists():
+            return ok, corrupt
+        for path in sorted(self.root.glob("*/*.pkl")):
+            try:
+                with path.open("rb") as handle:
+                    result = pickle.load(handle)
+            except Exception as exc:
+                reason = f"{type(exc).__name__}: {exc}"
+            else:
+                if isinstance(result, FrozenResult):
+                    ok += 1
+                    continue
+                reason = f"expected FrozenResult, found {type(result).__name__}"
+            corrupt.append(f"{path}: {reason}")
+            if prune:
+                _log.warning("corrupt cache entry %s (%s): pruned", path, reason)
+                self.stats.corrupt += 1
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return ok, corrupt
+
     def __len__(self) -> int:
         if not self.root.exists():
             return 0

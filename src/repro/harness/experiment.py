@@ -18,6 +18,8 @@ so that every run gets reproducible, isolated randomness.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -247,6 +249,20 @@ class ResultMetrics:
                 "ce_marked": stats.ce_marked,
             },
         }
+
+    def digest_hex(self) -> str:
+        """Compact SHA-256 of :meth:`digest` (canonical JSON serialization).
+
+        The same bit-exactness contract as :meth:`digest`, in a form that
+        is cheap to store and compare: the result journal stamps every
+        record with it, and the chaos tests compare interrupted-then-
+        resumed sweeps against uninterrupted runs through it.  Python's
+        ``repr``-exact float serialization makes equal runs hash equal.
+        """
+        payload = json.dumps(
+            self.digest(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
 
 
 class ExperimentResult(ResultMetrics):

@@ -41,7 +41,12 @@ from repro.errors import ConfigError, ParallelExecutionError
 from repro.harness.cache import ResultCache
 from repro.harness.experiment import Experiment, run_experiment
 from repro.harness.frozen import FrozenResult, freeze_result
-from repro.harness.resilience import RunFailure, run_with_retries
+from repro.harness.resilience import (
+    Attempt,
+    RunFailure,
+    current_worker,
+    run_with_retries,
+)
 
 __all__ = [
     "SweepTask",
@@ -97,6 +102,7 @@ def _run_payload(payload) -> TaskResult:
     except (KeyboardInterrupt, SystemExit):
         raise
     except Exception as exc:
+        worker = current_worker()
         return None, RunFailure(
             label=label,
             seeds_tried=(experiment.seed,),
@@ -104,6 +110,16 @@ def _run_payload(payload) -> TaskResult:
             error=str(exc),
             sim_time=getattr(exc, "sim_time", None),
             component=getattr(exc, "component", None),
+            attempts=(
+                Attempt(
+                    seed=experiment.seed,
+                    kind="exception",
+                    error_type=type(exc).__name__,
+                    error=str(exc),
+                    worker=worker,
+                ),
+            ),
+            worker=worker,
         )
 
 

@@ -88,6 +88,7 @@ class RepeatOutcome(Dict[str, MetricEstimate]):
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self.failures: List[RunFailure] = []
+        self.recovery = None
 
     @property
     def complete(self) -> bool:
@@ -103,6 +104,10 @@ def repeat_experiment(
     max_retries: int = 1,
     jobs=None,
     cache=None,
+    supervised: bool = False,
+    supervisor=None,
+    journal=None,
+    resume: bool = False,
 ) -> RepeatOutcome:
     """Run the experiment once per seed; estimate each metric.
 
@@ -122,6 +127,12 @@ def repeat_experiment(
     the frozen results the workers return — so they may be arbitrary
     (unpicklable) callables, and per-seed numbers are identical to the
     serial path's.
+
+    ``supervised``/``supervisor``/``journal``/``resume`` route the seeds
+    through the watchdogged, journal-backed backend (see
+    :func:`~repro.harness.sweep.run_coexistence_grid`); the outcome's
+    ``recovery`` attribute then carries the
+    :class:`~repro.harness.supervisor.SupervisorReport`.
     """
     if not seeds:
         raise ValueError("at least one seed is required")
@@ -132,17 +143,28 @@ def repeat_experiment(
     collected: Dict[str, List[float]] = {name: [] for name in metrics}
     outcome = RepeatOutcome()
 
-    if cache is not None or (jobs is not None and jobs != 1):
+    use_supervised = supervised or supervisor is not None \
+        or journal is not None or resume
+    if use_supervised or cache is not None or (jobs is not None and jobs != 1):
         from repro.harness.parallel import SweepTask, execute_tasks
 
         tasks = [
             SweepTask(f"seed {seed}", replace(experiment, seed=seed))
             for seed in seeds
         ]
-        pairs = execute_tasks(
-            tasks, jobs=jobs, on_error=on_error,
-            max_retries=max_retries, cache=cache,
-        )
+        if use_supervised:
+            from repro.harness.supervisor import run_supervised_tasks
+
+            pairs, outcome.recovery = run_supervised_tasks(
+                tasks, jobs=jobs, on_error=on_error, max_retries=max_retries,
+                cache=cache, supervisor=supervisor, journal=journal,
+                resume=resume,
+            )
+        else:
+            pairs = execute_tasks(
+                tasks, jobs=jobs, on_error=on_error,
+                max_retries=max_retries, cache=cache,
+            )
         for (result, failure) in pairs:
             if result is None:
                 outcome.failures.append(failure)

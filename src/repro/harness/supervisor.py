@@ -1,0 +1,722 @@
+"""Supervised sweep execution: watchdogged workers that survive failure.
+
+:func:`~repro.harness.parallel.execute_tasks` fans sweep cells out over a
+``multiprocessing`` pool, but the pool itself is brittle: a worker that
+hangs stalls the whole map, and a worker the kernel SIGKILLs (OOM) loses
+its task forever.  This module is the execution layer that survives
+process-level failure — the prerequisite for the distributed backend the
+roadmap plugs in at this same seam:
+
+* **process-per-task isolation** — each attempt runs in its own forked
+  worker, so a crash is observable (pipe EOF + exit code) instead of
+  wedging a shared pool;
+* **per-task wall-clock timeouts** and **worker heartbeats** — a hung or
+  frozen worker is killed and the task retried, rather than stalling the
+  sweep;
+* **bounded retry with exponential backoff**, centralizing the retry
+  policy: simulation exceptions retry on deterministically bumped seeds
+  (the exact :data:`~repro.harness.resilience.RETRY_SEED_STRIDE`
+  sequence the serial runner uses, so supervised and serial sweeps make
+  the same recovery decisions), while process-level failures — timeout,
+  SIGKILL, stalled heartbeats — retry the *same* seed, because the cause
+  was external and determinism demands the rerun be identical;
+* **graceful degradation to serial execution** after repeated pool
+  failures — if workers cannot even be spawned, the sweep finishes
+  in-process rather than dying;
+* every recovery action is recorded (:class:`SupervisorReport`) through
+  the same report machinery as :mod:`repro.harness.resilience`, and
+  terminal failures carry the full :class:`~repro.harness.resilience.Attempt`
+  history and worker identity.
+
+Combined with the write-ahead journal (:mod:`repro.harness.journal`),
+this makes sweeps resumable: completed cells are fsync'd as they finish,
+and ``resume=True`` replays them instead of re-simulating.  The ordering
+and seeding contract of :func:`execute_tasks` is preserved exactly, so a
+fixed seed gives bit-identical outcomes serial, pooled, supervised,
+interrupted-and-resumed, or degraded.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field, replace
+from multiprocessing import connection
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import ConfigError, ParallelExecutionError, SupervisorError
+from repro.harness.cache import ResultCache, experiment_cache_key
+from repro.harness.frozen import freeze_result
+from repro.harness.journal import ResultJournal
+from repro.harness.parallel import (
+    SweepTask,
+    TaskResult,
+    _check_picklable,
+    _start_method,
+    resolve_jobs,
+)
+from repro.harness.resilience import (
+    RETRY_SEED_STRIDE,
+    Attempt,
+    RecoveryAction,
+    RunFailure,
+)
+
+__all__ = [
+    "SupervisorConfig",
+    "SupervisorReport",
+    "execute_supervised",
+    "run_supervised_tasks",
+]
+
+#: Scheduler poll period: how often timeouts/heartbeats are re-checked.
+_TICK_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Tunables of the supervised execution backend.
+
+    ``task_timeout`` is the per-*attempt* wall-clock budget (None =
+    unlimited).  Heartbeats are always emitted by workers every
+    ``heartbeat_interval`` seconds; staleness only kills a worker when
+    ``heartbeat_timeout`` is set (a process can be alive but frozen —
+    e.g. SIGSTOP — which a timeout alone would catch much later).
+
+    ``max_retries`` bounds seed-bump retries after simulation exceptions
+    (the policy previously inlined in the grid/mix/repeat sweeps);
+    ``max_task_failures`` bounds same-seed retries after process-level
+    failures, with exponential backoff ``backoff_base *
+    backoff_factor**n`` capped at ``backoff_max``.  After
+    ``max_pool_failures`` consecutive worker-spawn failures the backend
+    degrades to in-process serial execution for the rest of the sweep.
+    """
+
+    task_timeout: Optional[float] = None
+    heartbeat_interval: float = 0.5
+    heartbeat_timeout: Optional[float] = None
+    max_retries: int = 1
+    max_task_failures: int = 2
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_max: float = 5.0
+    max_pool_failures: int = 3
+
+    def __post_init__(self) -> None:
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ConfigError(
+                f"task_timeout must be positive or None (got {self.task_timeout})"
+            )
+        if self.heartbeat_interval <= 0:
+            raise ConfigError(
+                f"heartbeat_interval must be positive (got {self.heartbeat_interval})"
+            )
+        if self.heartbeat_timeout is not None and self.heartbeat_timeout <= 0:
+            raise ConfigError(
+                f"heartbeat_timeout must be positive or None "
+                f"(got {self.heartbeat_timeout})"
+            )
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries cannot be negative (got {self.max_retries})")
+        if self.max_task_failures < 0:
+            raise ConfigError(
+                f"max_task_failures cannot be negative (got {self.max_task_failures})"
+            )
+        if self.backoff_base < 0 or self.backoff_factor < 1 or self.backoff_max < 0:
+            raise ConfigError(
+                "backoff parameters must satisfy base >= 0, factor >= 1, max >= 0"
+            )
+        if self.max_pool_failures < 1:
+            raise ConfigError(
+                f"max_pool_failures must be at least 1 (got {self.max_pool_failures})"
+            )
+
+
+@dataclass
+class SupervisorReport:
+    """What one supervised run did beyond simply executing its tasks.
+
+    ``actions`` is the recovery log (kills, retries, seed bumps,
+    degradation), ``replayed`` counts cells filled from the journal,
+    ``cache_hits`` cells filled from the result cache, ``executed``
+    cells actually simulated, and ``journal_appends`` records durably
+    written.  ``heartbeats`` counts heartbeat messages observed — proof
+    the liveness channel was active during the run.
+    """
+
+    actions: List[RecoveryAction] = field(default_factory=list)
+    degraded: bool = False
+    torn_journal: bool = False
+    replayed: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    journal_appends: int = 0
+    heartbeats: int = 0
+
+    def record(self, action: RecoveryAction) -> None:
+        """Append one recovery action to the log."""
+        self.actions.append(action)
+
+    def format_actions(self) -> str:
+        """Human-readable recovery log (see ``format_recovery_report``)."""
+        from repro.harness.resilience import format_recovery_report
+
+        return format_recovery_report(self.actions)
+
+
+def _supervised_worker(conn, experiment, heartbeat_interval: float) -> None:
+    """Worker body: heartbeat thread + one experiment, reported by pipe.
+
+    Sends ``("hb",)`` every ``heartbeat_interval`` seconds from a daemon
+    thread, then exactly one of ``("ok", frozen_result)`` or
+    ``("err", (type_name, message, sim_time, component))``.  A SIGKILL
+    leaves the pipe closed with neither — which is precisely how the
+    parent recognises a crash.
+    """
+    import threading
+
+    send_lock = threading.Lock()
+    stop = threading.Event()
+
+    def send(message) -> None:
+        with send_lock:
+            try:
+                conn.send(message)
+            except (BrokenPipeError, OSError):  # parent went away
+                pass
+
+    def beat() -> None:
+        while not stop.is_set():
+            send(("hb",))
+            stop.wait(heartbeat_interval)
+
+    heartbeat = threading.Thread(target=beat, daemon=True)
+    heartbeat.start()
+    try:
+        from repro.harness.experiment import run_experiment
+
+        result = run_experiment(experiment)
+        frozen = freeze_result(result)
+        stop.set()
+        send(("ok", frozen))
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception as exc:
+        stop.set()
+        send(
+            (
+                "err",
+                (
+                    type(exc).__name__,
+                    str(exc),
+                    getattr(exc, "sim_time", None),
+                    getattr(exc, "component", None),
+                ),
+            )
+        )
+    finally:
+        conn.close()
+
+
+def _start_worker(ctx, state: "_TaskState", config: SupervisorConfig) -> "_Worker":
+    """Spawn one worker process for one attempt (monkeypatchable seam)."""
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    experiment = replace(state.task.experiment, seed=state.seed)
+    process = ctx.Process(
+        target=_supervised_worker,
+        args=(child_conn, experiment, config.heartbeat_interval),
+        daemon=True,
+    )
+    process.start()
+    child_conn.close()
+    now = time.monotonic()
+    deadline = (
+        now + config.task_timeout if config.task_timeout is not None else None
+    )
+    return _Worker(
+        state=state,
+        process=process,
+        conn=parent_conn,
+        started=now,
+        last_heartbeat=now,
+        deadline=deadline,
+    )
+
+
+class _TaskState:
+    """Mutable retry bookkeeping for one task across its attempts."""
+
+    __slots__ = (
+        "index", "task", "seed", "bumps", "proc_failures", "attempts", "not_before",
+    )
+
+    def __init__(self, index: int, task: SweepTask):
+        self.index = index
+        self.task = task
+        self.seed = task.experiment.seed
+        self.bumps = 0
+        self.proc_failures = 0
+        self.attempts: List[Attempt] = []
+        self.not_before = 0.0
+
+
+class _Worker:
+    """One live worker process and the supervision state around it."""
+
+    __slots__ = ("state", "process", "conn", "started", "last_heartbeat", "deadline")
+
+    def __init__(self, state, process, conn, started, last_heartbeat, deadline):
+        self.state = state
+        self.process = process
+        self.conn = conn
+        self.started = started
+        self.last_heartbeat = last_heartbeat
+        self.deadline = deadline
+
+    @property
+    def identity(self) -> str:
+        """Worker identity for reports (``pid:<n>``)."""
+        return f"pid:{self.process.pid}"
+
+    def kill(self) -> None:
+        """Hard-stop the worker and reap it."""
+        try:
+            self.process.kill()
+        except (OSError, ValueError):  # already gone / never started
+            pass
+        self.process.join(timeout=5.0)
+        self.conn.close()
+
+    def reap(self) -> None:
+        """Join a worker that finished on its own."""
+        self.process.join(timeout=5.0)
+        self.conn.close()
+
+
+class _Supervisor:
+    """The scheduler: slots, deadlines, retries, journal, degradation."""
+
+    def __init__(self, tasks, jobs, on_error, config, cache, journal, report):
+        self.tasks = list(tasks)
+        self.n_jobs = resolve_jobs(jobs)
+        self.on_error = on_error
+        self.config = config
+        self.cache = cache
+        self.journal = journal
+        self.report = report
+        self.out: List[Optional[TaskResult]] = [None] * len(self.tasks)
+        self.keys: List[Optional[str]] = [None] * len(self.tasks)
+        self.queue: List[_TaskState] = []
+        self.running: Dict[object, _Worker] = {}
+        self.pool_failures = 0
+        self.replayed_indices: set = set()
+
+    # -- set-up ----------------------------------------------------------
+    def prefill(self, resume: bool) -> None:
+        """Fill slots from the journal (resume) and the result cache."""
+        need_keys = self.cache is not None or self.journal is not None
+        if need_keys:
+            for index, task in enumerate(self.tasks):
+                self.keys[index] = experiment_cache_key(task.experiment)
+        replay = {}
+        if resume and self.journal is not None:
+            journal_replay = self.journal.read()
+            replay = journal_replay.replay_map()
+            self.report.torn_journal = journal_replay.torn
+        for index, task in enumerate(self.tasks):
+            key = self.keys[index]
+            if key is not None and key in replay:
+                self.out[index] = (replay[key], None)
+                self.replayed_indices.add(index)
+                self.report.replayed += 1
+                continue
+            if self.cache is not None and key is not None:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    self.out[index] = (hit, None)
+                    self.report.cache_hits += 1
+                    self._journal_append(index, hit)
+                    continue
+            self.queue.append(_TaskState(index, task))
+
+    # -- completion paths ------------------------------------------------
+    def _journal_append(self, index: int, result) -> None:
+        key = self.keys[index]
+        if self.journal is None or key is None:
+            return
+        self.journal.append(key, self.tasks[index].label, result)
+        self.report.journal_appends += 1
+
+    def _finish_success(self, state: _TaskState, result) -> None:
+        self.out[state.index] = (result, None)
+        self.report.executed += 1
+        if state.attempts:
+            self.report.record(
+                RecoveryAction(
+                    label=state.task.label,
+                    action="recovered",
+                    detail=f"succeeded on attempt {len(state.attempts) + 1} "
+                           f"(seed {state.seed})",
+                )
+            )
+        key = self.keys[state.index]
+        if self.cache is not None and key is not None:
+            self.cache.put(key, result)
+        self._journal_append(state.index, result)
+
+    def _finish_failure(self, state: _TaskState, error_type: str, error: str,
+                        sim_time=None, component=None, worker=None) -> None:
+        self.out[state.index] = (
+            None,
+            RunFailure(
+                label=state.task.label,
+                seeds_tried=tuple(a.seed for a in state.attempts),
+                error_type=error_type,
+                error=error,
+                sim_time=sim_time,
+                component=component,
+                attempts=tuple(state.attempts),
+                worker=worker,
+            ),
+        )
+
+    # -- retry policy (the one place deciding what failure costs) --------
+    def _attempt_failed(self, state: _TaskState, kind: str, error_type: str,
+                        error: str, worker: Optional[str],
+                        sim_time=None, component=None) -> None:
+        """Record one failed attempt and either requeue or finalise."""
+        now = time.monotonic()
+        if kind == "exception":
+            retry = self.on_error == "capture" and state.bumps < self.config.max_retries
+            backoff = 0.0
+        else:
+            retry = state.proc_failures < self.config.max_task_failures
+            backoff = min(
+                self.config.backoff_base
+                * self.config.backoff_factor ** state.proc_failures,
+                self.config.backoff_max,
+            ) if retry else 0.0
+        state.attempts.append(
+            Attempt(
+                seed=state.seed,
+                kind=kind,
+                error_type=error_type,
+                error=error,
+                worker=worker,
+                backoff_s=backoff,
+            )
+        )
+        if not retry:
+            self._finish_failure(
+                state, error_type, error,
+                sim_time=sim_time, component=component, worker=worker,
+            )
+            return
+        if kind == "exception":
+            state.bumps += 1
+            state.seed = (
+                state.task.experiment.seed + state.bumps * RETRY_SEED_STRIDE
+            )
+            detail = (
+                f"seed-bump retry {state.bumps}/{self.config.max_retries} "
+                f"(seed {state.seed}) after {error_type}"
+            )
+        else:
+            state.proc_failures += 1
+            state.not_before = now + backoff
+            detail = (
+                f"same-seed retry {state.proc_failures}/"
+                f"{self.config.max_task_failures} after {kind} "
+                f"(backoff {backoff:.2g}s)"
+            )
+        self.report.record(
+            RecoveryAction(
+                label=state.task.label, action=f"retry after {kind}",
+                detail=detail, worker=worker,
+            )
+        )
+        self.queue.append(state)
+
+    # -- worker lifecycle ------------------------------------------------
+    def _spawn(self, ctx, state: _TaskState) -> bool:
+        """Start one attempt; returns False on a spawn (pool) failure."""
+        try:
+            worker = _start_worker(ctx, state, self.config)
+        except (OSError, RuntimeError) as exc:
+            self.pool_failures += 1
+            self.report.record(
+                RecoveryAction(
+                    label=state.task.label,
+                    action="spawn failed",
+                    detail=f"{type(exc).__name__}: {exc} "
+                           f"({self.pool_failures}/{self.config.max_pool_failures} "
+                           f"consecutive)",
+                )
+            )
+            state.not_before = time.monotonic() + self.config.backoff_base
+            self.queue.insert(0, state)
+            if self.pool_failures >= self.config.max_pool_failures:
+                self.report.degraded = True
+                self.report.record(
+                    RecoveryAction(
+                        label="(pool)",
+                        action="degrade to serial",
+                        detail=f"{self.pool_failures} consecutive spawn failures; "
+                               f"finishing the sweep in-process",
+                    )
+                )
+            return False
+        self.pool_failures = 0
+        self.running[worker.conn] = worker
+        return True
+
+    def _kill_worker(self, worker: _Worker, kind: str, error: str) -> None:
+        identity = worker.identity
+        worker.kill()
+        del self.running[worker.conn]
+        self._attempt_failed(
+            worker.state, kind, _PROCESS_ERROR_TYPES[kind], error, identity
+        )
+
+    def _handle_messages(self, ready) -> None:
+        for conn in ready:
+            worker = self.running.get(conn)
+            if worker is None:
+                continue
+            while True:
+                try:
+                    if not conn.poll():
+                        break
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    # Pipe closed with no result: the worker crashed or
+                    # was killed (OOM, SIGKILL) mid-task.
+                    exitcode = worker.process.exitcode
+                    identity = worker.identity
+                    worker.reap()
+                    del self.running[conn]
+                    self._attempt_failed(
+                        worker.state,
+                        "killed",
+                        _PROCESS_ERROR_TYPES["killed"],
+                        f"worker exited without a result (exitcode {exitcode})",
+                        identity,
+                    )
+                    break
+                tag = message[0]
+                if tag == "hb":
+                    worker.last_heartbeat = time.monotonic()
+                    self.report.heartbeats += 1
+                    continue
+                if tag == "ok":
+                    worker.reap()
+                    del self.running[conn]
+                    self._finish_success(worker.state, message[1])
+                    break
+                if tag == "err":
+                    error_type, error, sim_time, component = message[1]
+                    identity = worker.identity
+                    worker.reap()
+                    del self.running[conn]
+                    self._attempt_failed(
+                        worker.state, "exception", error_type, error,
+                        identity, sim_time=sim_time, component=component,
+                    )
+                    break
+
+    def _check_watchdogs(self) -> None:
+        now = time.monotonic()
+        for worker in list(self.running.values()):
+            if worker.deadline is not None and now > worker.deadline:
+                self._kill_worker(
+                    worker, "timeout",
+                    f"task exceeded its {self.config.task_timeout:.3g}s "
+                    f"wall-clock budget",
+                )
+            elif (
+                self.config.heartbeat_timeout is not None
+                and now - worker.last_heartbeat > self.config.heartbeat_timeout
+            ):
+                self._kill_worker(
+                    worker, "stalled",
+                    f"no heartbeat for {now - worker.last_heartbeat:.3g}s "
+                    f"(limit {self.config.heartbeat_timeout:.3g}s)",
+                )
+
+    # -- degraded serial path --------------------------------------------
+    def _run_degraded(self, state: _TaskState) -> None:
+        """In-process execution with the same centralized retry policy."""
+        from repro.harness.experiment import run_experiment
+        from repro.harness.resilience import current_worker
+
+        while True:
+            try:
+                result = freeze_result(
+                    run_experiment(replace(state.task.experiment, seed=state.seed))
+                )
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                before = len(self.queue)
+                self._attempt_failed(
+                    state, "exception", type(exc).__name__, str(exc),
+                    current_worker(),
+                    sim_time=getattr(exc, "sim_time", None),
+                    component=getattr(exc, "component", None),
+                )
+                if len(self.queue) > before:  # requeued: retry inline
+                    self.queue.pop()
+                    continue
+                return
+            self._finish_success(state, result)
+            return
+
+    # -- main loop -------------------------------------------------------
+    def run(self) -> List[TaskResult]:
+        """Execute every pending task; fill and return the result slots."""
+        ctx = multiprocessing.get_context(_start_method())
+        try:
+            while self.queue or self.running:
+                if self.report.degraded:
+                    while self.queue:
+                        self._run_degraded(self.queue.pop(0))
+                    continue
+                now = time.monotonic()
+                while self.queue and len(self.running) < self.n_jobs:
+                    index = next(
+                        (i for i, s in enumerate(self.queue)
+                         if s.not_before <= now),
+                        None,
+                    )
+                    if index is None:
+                        break
+                    if not self._spawn(ctx, self.queue.pop(index)):
+                        break
+                if self.report.degraded:
+                    continue
+                if self.running:
+                    ready = connection.wait(
+                        list(self.running), timeout=_TICK_SECONDS
+                    )
+                    self._handle_messages(ready)
+                    self._check_watchdogs()
+                elif self.queue:
+                    # Everything is backing off; sleep until the nearest
+                    # retry becomes eligible.
+                    wake = min(state.not_before for state in self.queue)
+                    time.sleep(max(0.0, min(wake - now, _TICK_SECONDS)))
+        finally:
+            for worker in list(self.running.values()):
+                worker.kill()
+            self.running.clear()
+        if any(slot is None for slot in self.out):  # pragma: no cover
+            raise SupervisorError("supervisor finished with unfilled task slots")
+        return self.out  # type: ignore[return-value]
+
+
+#: RunFailure.error_type used for each process-level failure kind.
+_PROCESS_ERROR_TYPES = {
+    "killed": "WorkerCrashed",
+    "timeout": "TaskTimeout",
+    "stalled": "WorkerStalled",
+}
+
+
+def execute_supervised(
+    tasks: Sequence[SweepTask],
+    *,
+    jobs: Optional[int] = None,
+    on_error: str = "raise",
+    config: Optional[SupervisorConfig] = None,
+    cache: Optional[ResultCache] = None,
+    journal: Optional[Union[ResultJournal, str, os.PathLike]] = None,
+    resume: bool = False,
+    report: Optional[SupervisorReport] = None,
+) -> List[TaskResult]:
+    """Run every task under supervision; same contract as ``execute_tasks``.
+
+    Returns one ``(frozen_result, failure)`` pair per task in task order.
+    ``journal`` (a :class:`~repro.harness.journal.ResultJournal` or a
+    path) makes every completed cell durable as it finishes; with
+    ``resume=True`` cells already journaled under the same config + code
+    fingerprint are replayed instead of re-executed.  ``report`` (when
+    provided) is filled with the run's recovery log and counters.
+
+    With ``on_error="raise"`` the sweep still runs to completion — so the
+    journal captures every cell that *can* finish — and then the first
+    failure in task order raises
+    :class:`~repro.errors.ParallelExecutionError`, exactly like the pool
+    executor; ``"capture"`` returns failures in their slots.
+    """
+    if on_error not in ("raise", "capture"):
+        raise ValueError(f"on_error must be 'raise' or 'capture' (got {on_error!r})")
+    if resume and journal is None:
+        raise ConfigError("resume=True requires a journal")
+    config = config or SupervisorConfig()
+    report = report if report is not None else SupervisorReport()
+
+    own_journal = journal is not None and not isinstance(journal, ResultJournal)
+    journal_obj = ResultJournal(journal) if own_journal else journal
+
+    supervisor = _Supervisor(
+        tasks, jobs, on_error, config, cache, journal_obj, report
+    )
+    try:
+        supervisor.prefill(resume)
+        if supervisor.queue:
+            _check_picklable([state.task for state in supervisor.queue])
+        out = supervisor.run()
+    finally:
+        if own_journal and journal_obj is not None:
+            journal_obj.close()
+
+    if on_error == "raise":
+        for task_result in out:
+            failure = task_result[1]
+            if failure is not None:
+                raise ParallelExecutionError(
+                    f"sweep cell failed: {failure}",
+                    label=failure.label,
+                    error_type=failure.error_type,
+                    sim_time=failure.sim_time,
+                    component=failure.component,
+                )
+    return out
+
+
+def run_supervised_tasks(
+    tasks: Sequence[SweepTask],
+    *,
+    jobs: Optional[int] = None,
+    on_error: str = "raise",
+    max_retries: int = 1,
+    cache: Optional[ResultCache] = None,
+    supervisor: Optional[SupervisorConfig] = None,
+    journal: Optional[Union[ResultJournal, str, os.PathLike]] = None,
+    resume: bool = False,
+):
+    """Sweep-runner entry point: execute supervised, return (pairs, report).
+
+    ``supervisor`` (a :class:`SupervisorConfig`) wins over ``max_retries``
+    when both are given; otherwise a default config is built carrying the
+    sweep's ``max_retries`` so supervised and serial sweeps make the same
+    number of seed-bump attempts.
+    """
+    config = (
+        supervisor
+        if supervisor is not None
+        else SupervisorConfig(max_retries=max_retries)
+    )
+    report = SupervisorReport()
+    pairs = execute_supervised(
+        tasks,
+        jobs=jobs,
+        on_error=on_error,
+        config=config,
+        cache=cache,
+        journal=journal,
+        resume=resume,
+        report=report,
+    )
+    return pairs, report

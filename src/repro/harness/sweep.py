@@ -75,11 +75,15 @@ class GridOutcome(List[GridCell]):
     keeps working), with :attr:`failures` carrying one
     :class:`~repro.harness.resilience.RunFailure` per cell that failed
     every retry.  Failed cells are simply absent from the list.
+    :attr:`recovery` holds the supervised backend's
+    :class:`~repro.harness.supervisor.SupervisorReport` when the sweep
+    ran supervised (None otherwise).
     """
 
     def __init__(self, cells=(), failures=()):
         super().__init__(cells)
         self.failures: List[RunFailure] = list(failures)
+        self.recovery = None
 
     @property
     def complete(self) -> bool:
@@ -89,6 +93,13 @@ class GridOutcome(List[GridCell]):
     def failure_report(self) -> str:
         """Human-readable summary of the captured cell failures."""
         return format_failure_report(self.failures)
+
+
+def _execute_supervised_tasks(tasks, **kwargs):
+    """Route a task list through the supervised backend (lazy import)."""
+    from repro.harness.supervisor import run_supervised_tasks
+
+    return run_supervised_tasks(tasks, **kwargs)
 
 
 def run_coexistence_grid(
@@ -105,6 +116,10 @@ def run_coexistence_grid(
     max_retries: int = 1,
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    supervised: bool = False,
+    supervisor=None,
+    journal=None,
+    resume: bool = False,
 ) -> GridOutcome:
     """Run the Figure 15–18 grid; one long-running flow per class per cell.
 
@@ -127,6 +142,17 @@ def run_coexistence_grid(
     API, same numbers, but detached from the live testbed.  Cell seeds and
     ordering are identical to the serial path, so a fixed seed gives
     bit-identical outcomes at any ``jobs``.
+
+    ``supervised=True`` (implied by ``supervisor``, ``journal`` or
+    ``resume``) routes execution through the watchdogged backend in
+    :mod:`repro.harness.supervisor`: per-task timeouts, heartbeat
+    monitoring, centralized retry with backoff, and — when ``journal`` (a
+    :class:`~repro.harness.journal.ResultJournal` or path) is given — a
+    crash-safe record of every completed cell.  ``resume=True`` replays
+    journaled cells instead of re-simulating them; an
+    interrupted-then-resumed sweep returns bit-identical results to an
+    uninterrupted one.  The outcome's ``recovery`` attribute carries the
+    backend's :class:`~repro.harness.supervisor.SupervisorReport`.
     """
     from repro.harness.experiment import run_experiment
 
@@ -149,17 +175,26 @@ def run_coexistence_grid(
             cells.append((link, rtt, exp))
 
     outcome = GridOutcome()
-    if cache is not None or (jobs is not None and jobs != 1):
+    use_supervised = supervised or supervisor is not None \
+        or journal is not None or resume
+    if use_supervised or cache is not None or (jobs is not None and jobs != 1):
         from repro.harness.parallel import SweepTask, execute_tasks
 
         tasks = [
             SweepTask(f"cell link={link}Mb/s rtt={rtt}ms", exp)
             for link, rtt, exp in cells
         ]
-        pairs = execute_tasks(
-            tasks, jobs=jobs, on_error=on_error,
-            max_retries=max_retries, cache=cache,
-        )
+        if use_supervised:
+            pairs, outcome.recovery = _execute_supervised_tasks(
+                tasks, jobs=jobs, on_error=on_error, max_retries=max_retries,
+                cache=cache, supervisor=supervisor, journal=journal,
+                resume=resume,
+            )
+        else:
+            pairs = execute_tasks(
+                tasks, jobs=jobs, on_error=on_error,
+                max_retries=max_retries, cache=cache,
+            )
         for (link, rtt, _exp), (result, failure) in zip(cells, pairs):
             if result is not None:
                 outcome.append(GridCell(link, rtt, result))
@@ -196,6 +231,10 @@ def run_mix_sweep(
     max_retries: int = 1,
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    supervised: bool = False,
+    supervisor=None,
+    journal=None,
+    resume: bool = False,
 ) -> Dict[Tuple[int, int], ExperimentResult]:
     """Run the Figure 19–20 flow-mix sweep at one operating point.
 
@@ -206,6 +245,10 @@ def run_mix_sweep(
     ``jobs``/``cache`` behave as in :func:`run_coexistence_grid`:
     process-pool fan-out and/or on-disk result caching, with frozen
     results and unchanged per-mix seeds and ordering.
+    ``supervised``/``supervisor``/``journal``/``resume`` select the
+    watchdogged, journal-backed backend exactly as in
+    :func:`run_coexistence_grid`; the returned dict then carries the
+    :class:`~repro.harness.supervisor.SupervisorReport` as ``recovery``.
     """
     from repro.harness.experiment import run_experiment
 
@@ -228,17 +271,26 @@ def run_mix_sweep(
         entries.append((n_a, n_b, exp))
 
     results = _MixResults()
-    if cache is not None or (jobs is not None and jobs != 1):
+    use_supervised = supervised or supervisor is not None \
+        or journal is not None or resume
+    if use_supervised or cache is not None or (jobs is not None and jobs != 1):
         from repro.harness.parallel import SweepTask, execute_tasks
 
         tasks = [
             SweepTask(f"mix {cc_a}x{n_a} vs {cc_b}x{n_b}", exp)
             for n_a, n_b, exp in entries
         ]
-        pairs = execute_tasks(
-            tasks, jobs=jobs, on_error=on_error,
-            max_retries=max_retries, cache=cache,
-        )
+        if use_supervised:
+            pairs, results.recovery = _execute_supervised_tasks(
+                tasks, jobs=jobs, on_error=on_error, max_retries=max_retries,
+                cache=cache, supervisor=supervisor, journal=journal,
+                resume=resume,
+            )
+        else:
+            pairs = execute_tasks(
+                tasks, jobs=jobs, on_error=on_error,
+                max_retries=max_retries, cache=cache,
+            )
         for (n_a, n_b, _exp), (result, failure) in zip(entries, pairs):
             if result is not None:
                 results[(n_a, n_b)] = result
@@ -266,6 +318,7 @@ class _MixResults(Dict[Tuple[int, int], ExperimentResult]):
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self.failures: List[RunFailure] = []
+        self.recovery = None
 
 
 def format_table(

@@ -22,6 +22,7 @@ from repro.perf.bench import (
     bench_experiment,
     bench_grid,
     bench_link_batching,
+    bench_supervised,
     format_bench_table,
     run_benchmarks,
     write_bench_json,
@@ -35,6 +36,7 @@ __all__ = [
     "bench_experiment",
     "bench_link_batching",
     "bench_grid",
+    "bench_supervised",
     "run_benchmarks",
     "write_bench_json",
     "format_bench_table",

@@ -46,6 +46,7 @@ __all__ = [
     "bench_experiment",
     "bench_link_batching",
     "bench_grid",
+    "bench_supervised",
     "run_benchmarks",
     "write_bench_json",
     "format_bench_table",
@@ -317,6 +318,86 @@ def bench_grid(
     return records
 
 
+def bench_supervised(
+    jobs: Optional[int] = None,
+    grid: Optional[dict] = None,
+    seed: int = 1,
+) -> BenchRecord:
+    """Cost and correctness of supervised, journaled, resumable sweeps.
+
+    Runs the quick grid four ways — plain serial (the reference digests),
+    supervised without a journal, supervised with the fsync'd journal,
+    and a resume that replays the journal — and reports:
+
+    * ``journal_overhead_pct`` — wall-clock cost of journaling relative
+      to the same supervised run without it.  Gated by
+      ``journal_overhead_ok`` (≤ 5 %, with a 0.5 s absolute-floor grace
+      so the quick grid's tiny wall times don't produce noise failures).
+    * ``matches_serial`` / ``matches_resume`` — bit-exact digest parity
+      of the journaled run and of the resumed (fully replayed) run
+      against the serial reference.  Either being False fails
+      ``repro bench`` exactly like the other determinism gates.
+    """
+    from repro.harness.supervisor import SupervisorReport
+
+    params = dict(grid or QUICK_GRID)
+
+    start = time.perf_counter()
+    serial = run_coexistence_grid(coupled_factory(), seed=seed, **params)
+    serial_wall = time.perf_counter() - start
+    reference = [cell.result.digest() for cell in serial]
+
+    start = time.perf_counter()
+    bare = run_coexistence_grid(
+        coupled_factory(), seed=seed, jobs=jobs, supervised=True, **params
+    )
+    bare_wall = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-journal-") as tmp:
+        journal_path = os.path.join(tmp, "grid.journal")
+        start = time.perf_counter()
+        journaled = run_coexistence_grid(
+            coupled_factory(), seed=seed, jobs=jobs,
+            journal=journal_path, **params
+        )
+        journal_wall = time.perf_counter() - start
+        journal_bytes = os.path.getsize(journal_path)
+
+        start = time.perf_counter()
+        resumed = run_coexistence_grid(
+            coupled_factory(), seed=seed, jobs=jobs,
+            journal=journal_path, resume=True, **params
+        )
+        resume_wall = time.perf_counter() - start
+        resume_report: SupervisorReport = resumed.recovery
+
+    matches_serial = [c.result.digest() for c in journaled] == reference
+    matches_resume = [c.result.digest() for c in resumed] == reference
+    overhead = journal_wall - bare_wall
+    overhead_pct = (overhead / bare_wall * 100.0) if bare_wall > 0 else 0.0
+    overhead_ok = overhead_pct <= 5.0 or overhead <= 0.5
+    heartbeat_count = (
+        bare.recovery.heartbeats if bare.recovery is not None else 0
+    )
+    return BenchRecord(
+        "grid_supervised",
+        journal_wall,
+        extra={
+            "cells": len(serial),
+            "wall_seconds_serial": serial_wall,
+            "wall_seconds_no_journal": bare_wall,
+            "wall_seconds_resume": resume_wall,
+            "journal_overhead_pct": overhead_pct,
+            "journal_overhead_ok": overhead_ok,
+            "journal_bytes": journal_bytes,
+            "replayed": resume_report.replayed if resume_report else 0,
+            "heartbeats": heartbeat_count,
+            "matches_serial": matches_serial,
+            "matches_resume": matches_resume,
+        },
+    )
+
+
 def run_benchmarks(
     quick: bool = True,
     jobs: Optional[int] = None,
@@ -338,6 +419,11 @@ def run_benchmarks(
     ]
     records.extend(
         bench_grid(jobs=jobs, grid=QUICK_GRID if quick else FULL_GRID, seed=seed)
+    )
+    records.append(
+        bench_supervised(
+            jobs=jobs, grid=QUICK_GRID if quick else FULL_GRID, seed=seed
+        )
     )
     return {
         "schema": 1,
@@ -387,9 +473,14 @@ def format_bench_table(payload: Dict[str, object]) -> str:
         for key in ("speedup_vs_serial", "speedup_vs_cold", "speedup_vs_unbatched"):
             if key in bench:
                 note_parts.append(f"{key.split('_vs_')[-1]}×{bench[key]:.2f}")
-        for key in ("matches_serial", "matches_cold", "matches_unbatched"):
+        for key in ("matches_serial", "matches_cold", "matches_unbatched",
+                    "matches_resume"):
             if key in bench and not bench[key]:
                 note_parts.append("MISMATCH!")
+        if "journal_overhead_pct" in bench:
+            note_parts.append(f"journal+{bench['journal_overhead_pct']:.1f}%")
+            if not bench.get("journal_overhead_ok", True):
+                note_parts.append("OVERHEAD!")
         rows.append(
             (
                 bench["name"],

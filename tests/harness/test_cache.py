@@ -186,3 +186,85 @@ class TestSweepIntegration:
         # No key, so nothing was stored or looked up.
         assert cache.stats == CacheStats(hits=0, misses=0, stores=0)
         assert len(cache) == 0
+
+
+class TestCorruptionHardening:
+    def test_corrupt_entry_is_counted_and_logged(self, tmp_path, caplog):
+        import logging
+
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a pickle")
+        with caplog.at_level(logging.WARNING, logger="repro.harness.cache"):
+            assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
+        assert any("corrupt cache entry" in r.message for r in caplog.records)
+        assert not path.exists()
+
+    def test_corrupt_entry_is_recomputed_transparently(self, tmp_path):
+        """A sweep over a poisoned cache must re-simulate and restore the
+        entry, bit-exact with the clean run."""
+        cache = ResultCache(tmp_path)
+        kwargs = dict(links_mbps=[10], rtts_ms=[10], duration=3.0,
+                      warmup=1.0, seed=3)
+        clean = run_coexistence_grid(coupled_factory(), cache=cache, **kwargs)
+        [entry] = list(cache.root.glob("*/*.pkl"))
+        entry.write_bytes(b"\x00garbage")
+        again = run_coexistence_grid(coupled_factory(), cache=cache, **kwargs)
+        assert cache.stats.corrupt == 1
+        assert cache.stats.stores == 2  # re-stored after recompute
+        assert [c.result.digest() for c in clean] == [
+            c.result.digest() for c in again
+        ]
+
+    def test_verify_reports_and_prunes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        exp = _quick_experiment()
+        frozen = freeze_result(run_experiment(exp))
+        cache.put(cache.key_for(exp), frozen)
+        bad = cache._path("ef" + "0" * 62)
+        bad.parent.mkdir(parents=True)
+        bad.write_bytes(b"junk")
+        wrong_type = cache._path("aa" + "1" * 62)
+        wrong_type.parent.mkdir(parents=True, exist_ok=True)
+        wrong_type.write_bytes(pickle.dumps(["not", "frozen"]))
+
+        ok, corrupt = cache.verify(prune=False)
+        assert ok == 1
+        assert len(corrupt) == 2
+        assert bad.exists() and wrong_type.exists()  # prune=False: read-only
+
+        ok, corrupt = cache.verify(prune=True)
+        assert ok == 1
+        assert len(corrupt) == 2
+        assert not bad.exists() and not wrong_type.exists()
+        assert cache.stats.corrupt == 2
+        assert len(cache) == 1
+
+    def test_verify_empty_cache(self, tmp_path):
+        ok, corrupt = ResultCache(tmp_path / "nothing-here").verify()
+        assert (ok, corrupt) == (0, [])
+
+    def test_cli_cache_verify(self, tmp_path):
+        from io import StringIO
+
+        from repro.cli import main
+
+        cache = ResultCache(tmp_path)
+        exp = _quick_experiment()
+        cache.put(cache.key_for(exp), freeze_result(run_experiment(exp)))
+        out = StringIO()
+        assert main(["cache", "--cache-dir", str(tmp_path), "--verify"],
+                    out=out) == 0
+        assert "1 entry OK" in out.getvalue()
+        bad = cache._path("ab" + "0" * 62)
+        bad.parent.mkdir(parents=True)
+        bad.write_bytes(b"junk")
+        out = StringIO()
+        assert main(["cache", "--cache-dir", str(tmp_path), "--verify"],
+                    out=out) == 1
+        assert "pruned 1 corrupt entry" in out.getvalue()
+        assert not bad.exists()

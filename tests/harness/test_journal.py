@@ -1,0 +1,153 @@
+"""Result journal: framing, torn-tail recovery, truncate-on-reopen.
+
+The journal's contract is narrow but hard: every record that ``append``
+returned from is durable and readable; a crash mid-append costs at most
+the record being written (the intact prefix always survives); and a
+journal written by different code or schema replays nothing rather than
+something wrong.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import JournalError
+from repro.harness.experiment import Experiment, FlowGroup
+from repro.harness.factories import pi2_factory
+from repro.harness.frozen import freeze_result
+from repro.harness.journal import (
+    JOURNAL_MAGIC,
+    JournalReplay,
+    ResultJournal,
+)
+
+
+@pytest.fixture(scope="module")
+def frozen_result():
+    """One tiny real FrozenResult shared by every test in the module."""
+    from repro.harness.experiment import run_experiment
+
+    exp = Experiment(
+        aqm_factory=pi2_factory(),
+        capacity_bps=10e6,
+        duration=1.5,
+        warmup=0.5,
+        flows=[FlowGroup(cc="reno", count=1, rtt=0.02)],
+    )
+    return freeze_result(run_experiment(exp))
+
+
+class TestRoundTrip:
+    def test_append_then_read(self, tmp_path, frozen_result):
+        path = tmp_path / "j.journal"
+        with ResultJournal(path) as journal:
+            journal.append("key-a", "cell a", frozen_result)
+            journal.append("key-b", "cell b", frozen_result)
+            assert journal.appended == 2
+        replay = ResultJournal(path).read()
+        assert not replay.torn
+        assert [r.key for r in replay.records] == ["key-a", "key-b"]
+        assert [r.label for r in replay.records] == ["cell a", "cell b"]
+        for record in replay.records:
+            assert record.digest == frozen_result.digest_hex()
+            assert record.result.digest() == frozen_result.digest()
+
+    def test_replay_map_later_records_win(self, tmp_path, frozen_result):
+        path = tmp_path / "j.journal"
+        with ResultJournal(path) as journal:
+            journal.append("key", "first", frozen_result)
+            journal.append("key", "second", frozen_result)
+        replay = ResultJournal(path).read()
+        assert len(replay.records) == 2
+        assert set(replay.replay_map()) == {"key"}
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        replay = ResultJournal(tmp_path / "absent.journal").read()
+        assert replay == JournalReplay()
+
+    def test_empty_key_rejected(self, tmp_path, frozen_result):
+        with ResultJournal(tmp_path / "j.journal") as journal:
+            with pytest.raises(JournalError):
+                journal.append("", "label", frozen_result)
+
+    def test_sync_false_still_readable(self, tmp_path, frozen_result):
+        path = tmp_path / "j.journal"
+        with ResultJournal(path, sync=False) as journal:
+            journal.append("key", "label", frozen_result)
+        assert len(ResultJournal(path).read().records) == 1
+
+
+class TestTornRecords:
+    def test_torn_tail_preserves_prefix(self, tmp_path, frozen_result):
+        path = tmp_path / "j.journal"
+        with ResultJournal(path) as journal:
+            journal.append("key-a", "a", frozen_result)
+            journal.append("key-b", "b", frozen_result)
+        intact = path.stat().st_size
+        with path.open("ab") as handle:
+            handle.write(b"\x40\x00\x00\x00\x00\x00\x00\x00partial")
+        replay = ResultJournal(path).read()
+        assert replay.torn
+        assert [r.key for r in replay.records] == ["key-a", "key-b"]
+        assert replay.valid_bytes == intact
+        assert replay.discarded_bytes == path.stat().st_size - intact
+
+    def test_reopen_truncates_torn_tail_then_appends(
+        self, tmp_path, frozen_result
+    ):
+        path = tmp_path / "j.journal"
+        with ResultJournal(path) as journal:
+            journal.append("key-a", "a", frozen_result)
+        with path.open("ab") as handle:
+            handle.write(b"torn garbage that is not a full record")
+        with ResultJournal(path) as journal:
+            journal.append("key-b", "b", frozen_result)
+        replay = ResultJournal(path).read()
+        assert not replay.torn
+        assert [r.key for r in replay.records] == ["key-a", "key-b"]
+
+    def test_checksum_mismatch_stops_replay(self, tmp_path, frozen_result):
+        path = tmp_path / "j.journal"
+        with ResultJournal(path) as journal:
+            journal.append("key-a", "a", frozen_result)
+            journal.append("key-b", "b", frozen_result)
+        data = bytearray(path.read_bytes())
+        # Flip one payload byte of the first record (just past its header).
+        data[len(JOURNAL_MAGIC) + 8 + 32 + 5] ^= 0xFF
+        path.write_bytes(bytes(data))
+        replay = ResultJournal(path).read()
+        assert replay.torn
+        assert replay.records == []
+
+    def test_wrong_schema_record_is_unusable(self, tmp_path, frozen_result):
+        import hashlib
+        import struct
+
+        path = tmp_path / "j.journal"
+        with ResultJournal(path) as journal:
+            journal.append("key-a", "a", frozen_result)
+        payload = pickle.dumps(
+            {"schema": 999, "key": "k", "label": "l",
+             "digest": "d", "result": frozen_result}
+        )
+        with path.open("ab") as handle:
+            handle.write(struct.pack("<Q", len(payload)))
+            handle.write(hashlib.sha256(payload).digest())
+            handle.write(payload)
+        replay = ResultJournal(path).read()
+        assert replay.torn
+        assert [r.key for r in replay.records] == ["key-a"]
+
+
+class TestBadFiles:
+    def test_non_journal_file_raises(self, tmp_path):
+        path = tmp_path / "not-a-journal"
+        path.write_bytes(b"just some text, definitely not " + JOURNAL_MAGIC)
+        with pytest.raises(JournalError):
+            ResultJournal(path).read()
+
+    def test_parent_directories_created(self, tmp_path, frozen_result):
+        path = tmp_path / "deep" / "nested" / "j.journal"
+        with ResultJournal(path) as journal:
+            journal.append("key", "label", frozen_result)
+        assert len(ResultJournal(path).read().records) == 1

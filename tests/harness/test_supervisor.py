@@ -1,0 +1,315 @@
+"""Supervised execution backend: parity, retry policy, degradation.
+
+The supervisor must be *invisible* in the results — bit-exact digest
+parity with the plain executor in every mode — while being very visible
+in its reporting: every retry, kill and degradation lands in the
+recovery log, and terminal failures carry the full attempt history.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigError, ParallelExecutionError
+from repro.harness.experiment import Experiment, FlowGroup
+from repro.harness.factories import pi2_factory
+from repro.harness.parallel import SweepTask, execute_tasks
+from repro.harness.resilience import RETRY_SEED_STRIDE
+from repro.harness.supervisor import (
+    SupervisorConfig,
+    SupervisorReport,
+    execute_supervised,
+    run_supervised_tasks,
+)
+
+
+def _quick_experiment(**overrides):
+    defaults = dict(
+        capacity_bps=10e6,
+        duration=2.0,
+        warmup=0.5,
+        aqm_factory=pi2_factory(),
+        flows=[FlowGroup(cc="reno", count=2, rtt=0.02)],
+    )
+    defaults.update(overrides)
+    return Experiment(**defaults)
+
+
+def _tasks(n=3):
+    return [SweepTask(f"t{s}", _quick_experiment(seed=s)) for s in range(1, n + 1)]
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"task_timeout": 0.0},
+            {"task_timeout": -1.0},
+            {"heartbeat_interval": 0.0},
+            {"heartbeat_timeout": -2.0},
+            {"max_retries": -1},
+            {"max_task_failures": -1},
+            {"backoff_factor": 0.5},
+            {"backoff_base": -1.0},
+            {"max_pool_failures": 0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            SupervisorConfig(**kwargs)
+
+    def test_defaults_valid(self):
+        SupervisorConfig()
+
+    def test_resume_without_journal_rejected(self):
+        with pytest.raises(ConfigError):
+            execute_supervised(_tasks(1), resume=True)
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ValueError):
+            execute_supervised(_tasks(1), on_error="ignore")
+
+
+class TestParity:
+    def test_supervised_matches_plain_executor_bit_exact(self):
+        tasks = _tasks(3)
+        plain = execute_tasks(tasks, jobs=1)
+        report = SupervisorReport()
+        supervised = execute_supervised(tasks, jobs=2, report=report)
+        assert [r.digest() for r, _ in supervised] == [
+            r.digest() for r, _ in plain
+        ]
+        assert report.executed == 3
+        assert report.heartbeats >= 3  # each worker beats at least once
+        assert not report.degraded
+        assert report.actions == []
+
+    def test_capture_failure_parity_with_plain_executor(self):
+        """A poisoned cell fails with the same seeds_tried under
+        supervision as under the plain executor's seed-bump retries."""
+        tasks = [
+            SweepTask("ok", _quick_experiment()),
+            SweepTask("doomed", _quick_experiment(max_events=500, seed=9)),
+        ]
+        plain = execute_tasks(tasks, jobs=1, on_error="capture", max_retries=1)
+        supervised = execute_supervised(
+            tasks, jobs=2, on_error="capture",
+            config=SupervisorConfig(max_retries=1),
+        )
+        (_, plain_fail) = plain[1]
+        (none_result, sup_fail) = supervised[1]
+        assert none_result is None
+        assert sup_fail.label == plain_fail.label == "doomed"
+        assert sup_fail.error_type == plain_fail.error_type == "WatchdogExceeded"
+        assert sup_fail.seeds_tried == plain_fail.seeds_tried == (
+            9, 9 + RETRY_SEED_STRIDE,
+        )
+        assert len(sup_fail.attempts) == 2
+        assert all(a.kind == "exception" for a in sup_fail.attempts)
+        assert sup_fail.worker is not None and sup_fail.worker.startswith("pid:")
+        assert supervised[0][0].digest() == plain[0][0].digest()
+
+    def test_raise_mode_raises_first_failure_in_task_order(self):
+        tasks = [
+            SweepTask("ok", _quick_experiment()),
+            SweepTask("first-bad", _quick_experiment(max_events=500, seed=2)),
+            SweepTask("second-bad", _quick_experiment(max_events=400, seed=3)),
+        ]
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            execute_supervised(tasks, jobs=2, on_error="raise")
+        assert excinfo.value.label == "first-bad"
+        assert excinfo.value.error_type == "WatchdogExceeded"
+
+    def test_raise_mode_does_not_seed_bump(self):
+        """Serial raise-mode never retries; supervised must match."""
+        tasks = [SweepTask("doomed", _quick_experiment(max_events=500, seed=5))]
+        with pytest.raises(ParallelExecutionError):
+            execute_supervised(
+                tasks, on_error="raise", config=SupervisorConfig(max_retries=3)
+            )
+
+
+class TestJournalIntegration:
+    def test_journal_path_accepted_and_populated(self, tmp_path):
+        from repro.harness.journal import ResultJournal
+
+        journal = tmp_path / "run.journal"
+        tasks = _tasks(2)
+        report = SupervisorReport()
+        execute_supervised(tasks, journal=journal, report=report)
+        assert report.journal_appends == 2
+        assert len(ResultJournal(journal).read().records) == 2
+
+    def test_resume_replays_instead_of_executing(self, tmp_path):
+        journal = tmp_path / "run.journal"
+        tasks = _tasks(3)
+        first = execute_supervised(tasks, journal=journal)
+        report = SupervisorReport()
+        resumed = execute_supervised(
+            tasks, journal=journal, resume=True, report=report
+        )
+        assert report.replayed == 3
+        assert report.executed == 0
+        assert [r.digest() for r, _ in resumed] == [
+            r.digest() for r, _ in first
+        ]
+
+    def test_resume_executes_only_the_remainder(self, tmp_path):
+        journal = tmp_path / "run.journal"
+        tasks = _tasks(4)
+        execute_supervised(tasks[:2], journal=journal)
+        report = SupervisorReport()
+        full = execute_supervised(
+            tasks, journal=journal, resume=True, report=report
+        )
+        assert report.replayed == 2
+        assert report.executed == 2
+        reference = execute_tasks(tasks, jobs=1)
+        assert [r.digest() for r, _ in full] == [
+            r.digest() for r, _ in reference
+        ]
+
+    def test_cache_hits_are_journaled_for_later_resume(self, tmp_path):
+        from repro.harness.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        tasks = _tasks(2)
+        execute_tasks(tasks, jobs=1, cache=cache)  # warm the cache
+        journal = tmp_path / "run.journal"
+        report = SupervisorReport()
+        execute_supervised(tasks, cache=cache, journal=journal, report=report)
+        assert report.cache_hits == 2
+        assert report.executed == 0
+        assert report.journal_appends == 2
+        resumed_report = SupervisorReport()
+        execute_supervised(
+            tasks, journal=journal, resume=True, report=resumed_report
+        )
+        assert resumed_report.replayed == 2
+
+
+class TestDegradation:
+    def test_spawn_failures_degrade_to_serial(self, monkeypatch):
+        import repro.harness.supervisor as supervisor_module
+
+        def broken_spawn(ctx, state, config):
+            raise OSError("no more processes")
+
+        monkeypatch.setattr(supervisor_module, "_start_worker", broken_spawn)
+        tasks = _tasks(2)
+        report = SupervisorReport()
+        config = SupervisorConfig(max_pool_failures=2, backoff_base=0.01)
+        out = execute_supervised(tasks, jobs=2, config=config, report=report)
+        assert report.degraded
+        assert any(a.action == "degrade to serial" for a in report.actions)
+        reference = execute_tasks(tasks, jobs=1)
+        assert [r.digest() for r, _ in out] == [
+            r.digest() for r, _ in reference
+        ]
+
+    def test_degraded_mode_still_applies_capture_retry_policy(self, monkeypatch):
+        import repro.harness.supervisor as supervisor_module
+
+        def broken_spawn(ctx, state, config):
+            raise OSError("no more processes")
+
+        monkeypatch.setattr(supervisor_module, "_start_worker", broken_spawn)
+        tasks = [SweepTask("doomed", _quick_experiment(max_events=500, seed=4))]
+        config = SupervisorConfig(
+            max_pool_failures=1, max_retries=1, backoff_base=0.01
+        )
+        out = execute_supervised(
+            tasks, jobs=2, on_error="capture", config=config
+        )
+        (result, failure) = out[0]
+        assert result is None
+        assert failure.seeds_tried == (4, 4 + RETRY_SEED_STRIDE)
+
+
+class TestRunSupervisedTasks:
+    def test_returns_pairs_and_report(self):
+        pairs, report = run_supervised_tasks(_tasks(2), jobs=2)
+        assert len(pairs) == 2
+        assert report.executed == 2
+
+    def test_explicit_config_wins_over_max_retries(self):
+        config = SupervisorConfig(max_retries=0)
+        tasks = [SweepTask("doomed", _quick_experiment(max_events=500, seed=6))]
+        pairs, _report = run_supervised_tasks(
+            tasks, on_error="capture", max_retries=5, supervisor=config
+        )
+        (_, failure) = pairs[0]
+        assert failure.seeds_tried == (6,)  # config's 0 retries, not 5
+
+
+class TestSweepPlumbing:
+    def test_grid_supervised_matches_serial(self):
+        from repro.harness.factories import coupled_factory
+        from repro.harness.sweep import run_coexistence_grid
+
+        kwargs = dict(
+            links_mbps=[10], rtts_ms=[10, 20], duration=2.0, warmup=0.5, seed=3
+        )
+        serial = run_coexistence_grid(coupled_factory(), **kwargs)
+        supervised = run_coexistence_grid(
+            coupled_factory(), jobs=2, supervised=True, **kwargs
+        )
+        assert [c.result.digest() for c in serial] == [
+            c.result.digest() for c in supervised
+        ]
+        assert supervised.recovery is not None
+        assert supervised.recovery.executed == len(serial)
+        assert serial.recovery is None
+
+    def test_mix_sweep_supervised_matches_serial(self):
+        from repro.harness.factories import coupled_factory
+        from repro.harness.sweep import run_mix_sweep
+
+        kwargs = dict(
+            mixes=[(1, 1), (2, 1)], capacity_mbps=10,
+            duration=2.0, warmup=0.5, seed=3,
+        )
+        serial = run_mix_sweep(coupled_factory(), **kwargs)
+        supervised = run_mix_sweep(coupled_factory(), supervised=True, **kwargs)
+        assert set(serial) == set(supervised)
+        for mix in serial:
+            assert serial[mix].digest() == supervised[mix].digest()
+        assert supervised.recovery.executed == len(serial)
+
+    def test_repeat_supervised_matches_serial(self):
+        from repro.harness.repeat import repeat_experiment
+
+        exp = _quick_experiment()
+        metrics = {"delay": lambda r: r.sojourn_summary()["mean"]}
+        serial = repeat_experiment(exp, metrics, seeds=(1, 2))
+        supervised = repeat_experiment(
+            exp, metrics, seeds=(1, 2), supervised=True
+        )
+        assert serial["delay"].samples == supervised["delay"].samples
+        assert supervised.recovery.executed == 2
+
+    def test_repeat_journal_resume(self, tmp_path):
+        from repro.harness.repeat import repeat_experiment
+
+        exp = _quick_experiment()
+        metrics = {"delay": lambda r: r.sojourn_summary()["mean"]}
+        journal = tmp_path / "repeat.journal"
+        first = repeat_experiment(
+            exp, metrics, seeds=(1, 2), journal=journal
+        )
+        resumed = repeat_experiment(
+            exp, metrics, seeds=(1, 2), journal=journal, resume=True
+        )
+        assert first["delay"].samples == resumed["delay"].samples
+        assert resumed.recovery.replayed == 2
+        assert resumed.recovery.executed == 0
+
+    def test_lambda_factory_rejected_with_guidance(self):
+        """Supervision is process-per-task, so experiments must pickle:
+        lambda factories get the same actionable error as the pool path."""
+        from repro.aqm.pi import PiAqm
+
+        exp = _quick_experiment(aqm_factory=lambda rng: PiAqm(rng=rng))
+        with pytest.raises(ConfigError) as excinfo:
+            execute_supervised([SweepTask("lambda-cell", exp)])
+        assert "pickled" in str(excinfo.value)

@@ -17,6 +17,10 @@ Two phases, one exit code:
      paid down; ``--update-ratchet`` rewrites the file with the measured
      count.
 
+   ``--require-baseline`` turns the ratchet from report-only into a hard
+   gate: a ``null`` baseline is itself a failure (CI uses this so the
+   typing gate can never silently fall back to report-only).
+
    When mypy is not installed (the pinned simulation container has no
    network access), the phase is skipped with a note — the domain rules
    still gate.
@@ -25,6 +29,7 @@ Usage::
 
     python tools/run_static_analysis.py [--format human|json]
                                         [--skip-mypy] [--update-ratchet]
+                                        [--require-baseline]
 """
 
 from __future__ import annotations
@@ -52,7 +57,7 @@ def run_domain_rules(output_format: str) -> int:
     return len(report.findings)
 
 
-def run_mypy(update_ratchet: bool) -> int:
+def run_mypy(update_ratchet: bool, require_baseline: bool = False) -> int:
     """Phase 2: the typing ratchet; returns 0 ok / 1 over-budget."""
     try:
         from mypy import api as mypy_api
@@ -78,6 +83,11 @@ def run_mypy(update_ratchet: bool) -> int:
         print(f"mypy: ratchet updated to {errors} in {RATCHET_PATH}")
         return 0
     if ceiling is None:
+        if require_baseline:
+            print("mypy: FAIL — no baseline recorded (max_errors: null) but "
+                  "--require-baseline was given; run --update-ratchet to pin "
+                  "the ceiling")
+            return 1
         print("mypy: no baseline recorded (max_errors: null) — report only; "
               "run with --update-ratchet to start gating")
         return 0
@@ -104,10 +114,15 @@ def main(argv=None) -> int:
     parser.add_argument("--update-ratchet", action="store_true",
                         help="rewrite tools/mypy_ratchet.json with the "
                              "measured mypy error count")
+    parser.add_argument("--require-baseline", action="store_true",
+                        help="fail (instead of report-only) when the ratchet "
+                             "has no recorded baseline")
     args = parser.parse_args(argv)
 
     findings = run_domain_rules(args.output_format)
-    mypy_rc = 0 if args.skip_mypy else run_mypy(args.update_ratchet)
+    mypy_rc = 0 if args.skip_mypy else run_mypy(
+        args.update_ratchet, require_baseline=args.require_baseline
+    )
     return 1 if findings or mypy_rc else 0
 
 
