@@ -1,6 +1,6 @@
 """Rule catalogue: importing this package registers every built-in rule.
 
-The five domain rules guard the properties the repository's
+The six domain rules guard the properties the repository's
 reproducibility story depends on — see docs/STATIC_ANALYSIS.md for the
 full catalogue and docs on adding a rule:
 
@@ -8,6 +8,8 @@ full catalogue and docs on adding a rule:
 DET       randomness only via seeded repro.sim.random streams; no wall
           clock in sim/net/aqm/tcp/core
 ORD       no iteration over sets or unsorted filesystem listings
+FLOAT     no running float additions over unordered iterables in
+          sim/aqm/metrics (IEEE-754 addition is order-dependent)
 PROB      probability writes/returns in aqm/core clamp-dominated
 SCHED     scheduling time arguments derived from virtual time
 PICKLE    process-pool task-spec seam stays picklable
@@ -15,6 +17,7 @@ PICKLE    process-pool task-spec seam stays picklable
 """
 
 from repro.analysis.static.rules.det import DeterminismRule
+from repro.analysis.static.rules.floats import FloatAccumulationRule
 from repro.analysis.static.rules.ordering import OrderingRule
 from repro.analysis.static.rules.pickling import PicklabilityRule
 from repro.analysis.static.rules.prob import ProbabilityDomainRule
@@ -22,6 +25,7 @@ from repro.analysis.static.rules.sched import SchedulingRule
 
 __all__ = [
     "DeterminismRule",
+    "FloatAccumulationRule",
     "OrderingRule",
     "PicklabilityRule",
     "ProbabilityDomainRule",

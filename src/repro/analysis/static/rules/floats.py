@@ -1,0 +1,133 @@
+"""FLOAT — float accumulation must not depend on an unordered iteration.
+
+IEEE-754 addition is not associative: ``(a + b) + c`` and ``a + (b + c)``
+round differently, so a running ``total += x`` over an iterable whose
+order is not reproducible (a set, a frozenset, an unsorted directory
+listing) yields run-to-run different sums even when the *elements* are
+identical.  In this repository every float that reaches a digest must be
+bit-stable — the serial/parallel/cache parity gates and the golden
+digest tests all hash raw float sums — so an order-dependent
+accumulation is a reproducibility bug even when the drift only shows in
+the last ulp.
+
+Within ``sim/``, ``aqm/`` and ``metrics/`` the rule flags ``for`` loops
+that both
+
+* iterate a provably unordered source — a set or frozenset (literal,
+  constructor call, or set comprehension) or an unsorted filesystem
+  listing (``glob``/``iglob``/``listdir``/``scandir``/``iterdir``); and
+* accumulate with ``+=`` (or the spelled-out ``acc = acc + ...``)
+  anywhere in the loop body.
+
+The sanctioned spellings make the order explicit before any addition
+happens::
+
+    total = sum(sorted(values))        # one canonical order
+    total = math.fsum(sorted(values))  # and exactly rounded, if it matters
+
+Iteration over lists, tuples, ranges and dict views is not flagged —
+those have a deterministic (insertion or index) order — and unordered
+iteration *without* accumulation stays ORD's concern, not FLOAT's.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.static.core import Finding, Rule, Severity, SourceFile, register
+
+__all__ = ["FloatAccumulationRule"]
+
+#: Constructors producing unordered collections.
+_SET_CALLS = frozenset({"set", "frozenset"})
+
+#: Filesystem listings whose order is platform/inode dependent.
+_UNSORTED_LISTING_CALLS = frozenset(
+    {"glob", "iglob", "listdir", "scandir", "iterdir"}
+)
+
+
+def _call_simple_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _unordered_source(node: ast.AST) -> Optional[str]:
+    """A human-readable description of why the iterable is unordered."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set"
+    if isinstance(node, ast.Call):
+        name = _call_simple_name(node)
+        if name in _SET_CALLS:
+            return f"a {name}()"
+        if name in _UNSORTED_LISTING_CALLS:
+            return f"an unsorted {name}() listing"
+        if name == "sorted":
+            return None  # explicitly ordered — the sanctioned fix
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # ``a | b`` etc. between sets; only worth naming when a side is
+        # provably a set, otherwise assume ordinary arithmetic.
+        for side in (node.left, node.right):
+            if _unordered_source(side) is not None:
+                return "a set expression"
+    return None
+
+
+def _accumulates(body: list) -> Optional[ast.AST]:
+    """First order-sensitive accumulation statement in the loop body."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+                return node
+            # The spelled-out form: acc = acc + x  /  acc = x + acc
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.BinOp)
+                and isinstance(node.value.op, ast.Add)
+            ):
+                target = node.targets[0].id
+                for side in (node.value.left, node.value.right):
+                    if isinstance(side, ast.Name) and side.id == target:
+                        return node
+    return None
+
+
+@register
+class FloatAccumulationRule(Rule):
+    """``+=`` over unordered iterables makes float sums order-dependent."""
+
+    name = "FLOAT"
+    severity = Severity.ERROR
+    description = (
+        "running additions over sets or unsorted listings in sim/, aqm/ "
+        "and metrics/ are order-dependent; sum a sorted sequence "
+        "(sum(sorted(...)) or math.fsum(sorted(...))) instead"
+    )
+    packages = ("sim", "aqm", "metrics")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            why = _unordered_source(node.iter)
+            if why is None:
+                continue
+            hit = _accumulates(node.body)
+            if hit is None:
+                continue
+            yield self.finding(
+                source,
+                hit,
+                f"float accumulation inside a loop over {why}: IEEE-754 "
+                "addition is order-dependent, so the sum is not "
+                "reproducible; iterate sorted(...) (or collect and "
+                "math.fsum a sorted sequence) before accumulating",
+            )

@@ -26,6 +26,7 @@ Fluid-model trajectory (Appendix B, time domain)::
 from __future__ import annotations
 
 import argparse
+import hashlib
 import sys
 from dataclasses import replace
 from typing import List, Optional
@@ -103,6 +104,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="dispatch one event per packet instead of batched "
                           "drains (results are bit-exact either way; use for "
                           "A/B timing or debugging)")
+    run.add_argument("--scheduler", choices=["heap", "wheel"], default="wheel",
+                     help="event-core backend (results are bit-exact either "
+                          "way; heap is the reference for A/B checks)")
 
     co = sub.add_parser("coexist", help="DCTCP vs Cubic at one grid point")
     co.add_argument("--aqm", choices=sorted(FACTORIES), default="coupled")
@@ -147,6 +151,11 @@ def _build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--heartbeat-timeout", type=float, default=None,
                       metavar="S",
                       help="kill and retry a worker silent for S seconds")
+    grid.add_argument("--scheduler", choices=["heap", "wheel"],
+                      default="wheel",
+                      help="event-core backend for every cell (bit-exact "
+                           "either way; CI diffs the printed grid digest "
+                           "between the two)")
     _add_perf_options(grid)
 
     bode = sub.add_parser("bode", help="gain/phase margins at an operating point")
@@ -181,7 +190,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     check = sub.add_parser(
         "check",
-        help="run the domain static-analysis rules (DET/ORD/PROB/SCHED/PICKLE)",
+        help="run the domain static-analysis rules "
+             "(DET/ORD/PROB/SCHED/PICKLE/FLOAT)",
     )
     check.add_argument("paths", nargs="*", metavar="PATH",
                        help="files or directories to check "
@@ -227,12 +237,19 @@ def _add_perf_options(parser) -> None:
 
 
 def _make_cache(args):
-    """Build the ResultCache an argparse namespace asks for (or None)."""
-    from repro.harness.cache import DEFAULT_CACHE_DIR, ResultCache
+    """Build the result cache an argparse namespace asks for (or None).
+
+    The CLI always hands out the shared (cross-process single-flight)
+    flavour: concurrent ``repro figure``/``repro grid`` invocations over
+    the same cache directory then compute each cell once between them.
+    """
+    from repro.harness.cache import DEFAULT_CACHE_DIR, SharedResultCache
 
     if getattr(args, "no_cache", False):
         return None
-    return ResultCache(getattr(args, "cache_dir", None) or DEFAULT_CACHE_DIR)
+    return SharedResultCache(
+        getattr(args, "cache_dir", None) or DEFAULT_CACHE_DIR
+    )
 
 
 def _cmd_list(out) -> int:
@@ -285,9 +302,18 @@ def _cmd_bench(args, out) -> int:
         or b.get("matches_cold") is False
         or b.get("matches_unbatched") is False
         or b.get("matches_resume") is False
+        or b.get("matches_heap") is False
     ]
     if mismatches:
         print(f"DETERMINISM REGRESSION in: {', '.join(mismatches)}", file=out)
+        return 1
+    broken_flight = [
+        b["name"] for b in payload["benchmarks"]
+        if b.get("single_flight_ok") is False
+    ]
+    if broken_flight:
+        print(f"SINGLE-FLIGHT REGRESSION in: {', '.join(broken_flight)}",
+              file=out)
         return 1
     slow_journal = [
         b["name"] for b in payload["benchmarks"]
@@ -353,6 +379,7 @@ def _cmd_grid(args, out) -> int:
             heartbeat_timeout=args.heartbeat_timeout,
             max_retries=args.max_retries,
         )
+    cache = _make_cache(args)
     outcome = run_coexistence_grid(
         FACTORIES[args.aqm](),
         cc_a=args.cc_a,
@@ -365,11 +392,12 @@ def _cmd_grid(args, out) -> int:
         on_error=args.on_error,
         max_retries=args.max_retries,
         jobs=args.jobs,
-        cache=_make_cache(args),
+        cache=cache,
         supervised=supervised,
         supervisor=supervisor,
         journal=args.journal,
         resume=args.resume,
+        scheduler=args.scheduler,
     )
     rows = [
         (
@@ -402,9 +430,17 @@ def _cmd_grid(args, out) -> int:
         )
         if report.actions:
             print(report.format_actions(), file=out)
+    if cache is not None and (cache.stats.hits or cache.stats.stores):
+        print(f"cache: {cache.stats} ({cache.root})", file=out)
     if not outcome.complete:
         print(outcome.failure_report(), file=out)
         return 1
+    # One line CI can diff between --scheduler=heap and --scheduler=wheel
+    # runs: equal grids hash equal, any cell diverging changes it.
+    combined = hashlib.sha256(
+        "".join(cell.result.digest_hex() for cell in outcome).encode("ascii")
+    ).hexdigest()
+    print(f"grid digest: {combined}", file=out)
     return 0
 
 
@@ -420,6 +456,8 @@ def _cmd_run(args, out) -> int:
         exp = replace(exp, validate=args.validate, faults=faults)
     if args.no_link_batching:
         exp = replace(exp, link_batching=False)
+    if args.scheduler != exp.scheduler:
+        exp = replace(exp, scheduler=args.scheduler)
     result = run_experiment(exp)
     delay = result.sojourn_summary(percentiles=(99,))
     rows = [

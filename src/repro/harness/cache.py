@@ -26,7 +26,11 @@ Layout
 ------
 ``<root>/<key[:2]>/<key>.pkl``, written atomically (temp file + rename)
 so a crashed run never leaves a truncated entry; unreadable entries are
-treated as misses and deleted.
+treated as misses and deleted.  :class:`SharedResultCache` adds
+``<root>/locks/<key>.lock`` (advisory per-key ``flock`` files for
+cross-process single-flight) and ``<root>/events.log`` (append-only
+compute/wait decision log); both are metadata only — the entry layout is
+unchanged and fully interchangeable with the plain cache.
 """
 
 from __future__ import annotations
@@ -35,11 +39,17 @@ import hashlib
 import logging
 import os
 import pickle
+import time
 import types
 from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
-from typing import List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
+
+try:  # file locks are POSIX-only; the shared cache degrades without them
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro.harness.experiment import Experiment
 from repro.harness.frozen import FrozenResult
@@ -52,6 +62,8 @@ __all__ = [
     "experiment_cache_key",
     "CacheStats",
     "ResultCache",
+    "SharedCacheStats",
+    "SharedResultCache",
 ]
 
 #: Bumped whenever the frozen-result layout or keying scheme changes.
@@ -121,6 +133,7 @@ def experiment_cache_key(experiment: Experiment) -> Optional[str]:
         f"record_sojourns={experiment.record_sojourns!r}",
         f"validate={experiment.validate!r}",
         f"link_batching={experiment.link_batching!r}",
+        f"scheduler={experiment.scheduler!r}",
         f"max_events={experiment.max_events!r}",
         f"max_wall_seconds={experiment.max_wall_seconds!r}",
         f"flows={[repr(group) for group in experiment.flows]!r}",
@@ -175,12 +188,25 @@ class ResultCache:
         WARNING level, counted in ``stats.corrupt``, removed from disk,
         and reported as a miss so the caller simply re-simulates.
         """
+        result = self._load(key)
+        if result is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def _load(self, key: str) -> Optional[FrozenResult]:
+        """Uncounted load: the shared cache's waiters poll through this.
+
+        Corrupt entries are still logged, counted in ``stats.corrupt``
+        and pruned; only the hit/miss tallies are left to :meth:`get`, so
+        a polling waiter doesn't inflate them once per poll interval.
+        """
         path = self._path(key)
         try:
             with path.open("rb") as handle:
                 result = pickle.load(handle)
         except FileNotFoundError:
-            self.stats.misses += 1
             return None
         except Exception as exc:
             self._drop_corrupt(path, f"{type(exc).__name__}: {exc}")
@@ -190,14 +216,12 @@ class ResultCache:
                 path, f"expected FrozenResult, found {type(result).__name__}"
             )
             return None
-        self.stats.hits += 1
         return result
 
     def _drop_corrupt(self, path: Path, reason: str) -> None:
         """Log, count and delete one unusable entry; callers see a miss."""
         _log.warning("corrupt cache entry %s (%s): recomputing", path, reason)
         self.stats.corrupt += 1
-        self.stats.misses += 1
         try:
             path.unlink()
         except OSError:
@@ -275,3 +299,179 @@ class ResultCache:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<ResultCache {self.root} entries={len(self)} {self.stats}>"
+
+
+@dataclass
+class SharedCacheStats(CacheStats):
+    """Counters for one :class:`SharedResultCache` instance.
+
+    Extends the plain hit/miss/store tallies with the single-flight
+    outcomes: ``computes`` (this process won the per-key lock and ran
+    the simulation) and ``waits`` (another process held the lock, so
+    this one polled for its result instead of duplicating the work).
+    """
+
+    waits: int = 0
+    computes: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{CacheStats.__str__(self)} "
+            f"computes={self.computes} waits={self.waits}"
+        )
+
+
+class SharedResultCache(ResultCache):
+    """Cross-process single-flight wrapper over :class:`ResultCache`.
+
+    N workers asked for the same :func:`experiment_cache_key` at the same
+    moment (repeated-figure workloads, ``repro figure`` over overlapping
+    grids, parallel sweeps that share cells) should simulate it **once**.
+    :meth:`fetch_or_compute` takes a per-key ``flock`` under
+    ``<root>/locks/``: the winner simulates and publishes the entry, the
+    others sleep-poll until the entry appears and share it.  Everything
+    is advisory and crash-safe — a lock dies with its holder's file
+    descriptor, so a crashed winner simply promotes the next waiter to
+    winner, and the store layout stays identical to the plain cache
+    (entries remain valid for, and visible to, non-shared readers).
+
+    Each process tallies its own :class:`SharedCacheStats`; the
+    cross-process picture comes from an append-only event log
+    (``<root>/events.log``, one ``compute``/``wait`` line per decision,
+    written with ``O_APPEND`` so concurrent writers never interleave),
+    summarised by :meth:`event_counts` — that is what the benchmarks
+    assert single-flight dedup on.
+    """
+
+    #: How long a waiter sleeps between polls of the winner's entry.
+    LOCK_POLL_INTERVAL = 0.05
+    #: Give up waiting after this long and simulate anyway — a stuck
+    #: winner (e.g. SIGSTOP'd) must never deadlock the whole sweep.
+    LOCK_TIMEOUT = 600.0
+
+    def __init__(self, root: os.PathLike | str = DEFAULT_CACHE_DIR):
+        super().__init__(root)
+        self.stats: SharedCacheStats = SharedCacheStats()
+
+    def _lock_path(self, key: str) -> Path:
+        return self.root / "locks" / f"{key}.lock"
+
+    def _events_path(self) -> Path:
+        return self.root / "events.log"
+
+    def _log_event(self, kind: str, key: str) -> None:
+        """Append one decision record; O_APPEND keeps writers atomic."""
+        line = f"{kind} {key} {os.getpid()}\n".encode()
+        try:
+            fd = os.open(
+                self._events_path(), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                os.write(fd, line)
+            finally:
+                os.close(fd)
+        except OSError:  # pragma: no cover - event log is best-effort
+            pass
+
+    def event_counts(self) -> Dict[str, int]:
+        """Aggregate ``compute``/``wait`` decisions across all processes."""
+        counts: Dict[str, int] = {"compute": 0, "wait": 0}
+        try:
+            text = self._events_path().read_text()
+        except OSError:
+            return counts
+        for line in text.splitlines():
+            kind = line.split(" ", 1)[0]
+            if kind in counts:
+                counts[kind] += 1
+        return counts
+
+    def clear_events(self) -> None:
+        """Reset the event log (benchmarks measure one workload at a time)."""
+        try:
+            self._events_path().unlink()
+        except OSError:
+            pass
+
+    def fetch_or_compute(
+        self, key: str, compute: Callable[[], Optional[FrozenResult]]
+    ) -> Optional[FrozenResult]:
+        """Return the entry for ``key``, simulating it at most once fleet-wide.
+
+        ``compute`` must return the :class:`FrozenResult` to publish, or
+        ``None`` for a failed run — failures are never cached, and the
+        lock is released so another process can retry.  The fast path is
+        one counted :meth:`get`; past it, the per-key lock decides who
+        simulates and who waits.  Without ``fcntl`` (non-POSIX) every
+        process just computes, preserving correctness without dedup.
+        """
+        result = self.get(key)
+        if result is not None:
+            return result
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            self.stats.computes += 1
+            self._log_event("compute", key)
+            result = compute()
+            if result is not None:
+                self.put(key, result)
+            return result
+        lock_path = self._lock_path(key)
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(lock_path, os.O_WRONLY | os.O_CREAT, 0o644)
+        try:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                return self._wait_for(key, fd, compute)
+            # Lock won.  Double-check: the previous holder may have
+            # published the entry between our miss and our acquisition.
+            result = self._load(key)
+            if result is not None:
+                return result
+            self.stats.computes += 1
+            self._log_event("compute", key)
+            result = compute()
+            if result is not None:
+                self.put(key, result)
+            return result
+        finally:
+            os.close(fd)  # also releases the flock if we hold it
+
+    def _wait_for(
+        self, key: str, fd: int, compute: Callable[[], Optional[FrozenResult]]
+    ) -> Optional[FrozenResult]:
+        """Poll for the winner's entry; inherit the lock if it dies."""
+        self.stats.waits += 1
+        self._log_event("wait", key)
+        deadline = time.monotonic() + self.LOCK_TIMEOUT
+        while time.monotonic() < deadline:
+            time.sleep(self.LOCK_POLL_INTERVAL)
+            result = self._load(key)
+            if result is not None:
+                return result
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                continue
+            # The winner released without publishing (failed or crashed
+            # run): this process inherits the computation.
+            result = self._load(key)
+            if result is not None:
+                return result
+            self.stats.computes += 1
+            self._log_event("compute", key)
+            result = compute()
+            if result is not None:
+                self.put(key, result)
+            return result
+        _log.warning(
+            "shared-cache lock for %s held past %.0fs; computing anyway",
+            key,
+            self.LOCK_TIMEOUT,
+        )
+        self.stats.computes += 1
+        self._log_event("compute", key)
+        result = compute()
+        if result is not None:
+            self.put(key, result)
+        return result

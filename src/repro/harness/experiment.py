@@ -101,11 +101,21 @@ class Experiment:
     #: dispatches (bit-exact vs. the event-per-packet schedule; see
     #: :mod:`repro.net.link`).  Off is only useful for A/B measurement.
     link_batching: bool = True
+    #: Event-scheduler backend: ``"wheel"`` (timer wheel + overflow heap,
+    #: the default) or ``"heap"`` (the reference single binary heap).
+    #: Both dispatch in the identical (time, seq) order, so results are
+    #: bit-exact either way; heap is kept selectable for A/B parity runs
+    #: (``repro run --scheduler=heap``).
+    scheduler: str = "wheel"
     #: Watchdog budgets for the run (None = unlimited).
     max_events: Optional[int] = None
     max_wall_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
+        if self.scheduler not in ("heap", "wheel"):
+            raise ConfigError(
+                f"scheduler must be 'heap' or 'wheel' (got {self.scheduler!r})"
+            )
         if self.capacity_bps <= 0:
             raise ConfigError(f"capacity must be positive (got {self.capacity_bps})")
         if self.duration <= 0:
@@ -348,7 +358,7 @@ def run_experiment(experiment: Experiment) -> ExperimentResult:
     raises a structured :class:`~repro.errors.SimulationError` carrying
     virtual-time and component context.
     """
-    sim = Simulator()
+    sim = Simulator(scheduler=experiment.scheduler)
     streams = RandomStreams(experiment.seed)
     aqm = experiment.aqm_factory(streams.stream("aqm"))
     bed = Dumbbell(
@@ -378,7 +388,7 @@ def run_experiment(experiment: Experiment) -> ExperimentResult:
                 group.rate_bps, start=group.start, stop=group.stop, label=group.label
             )
     for when, rate in experiment.capacity_schedule:
-        sim.at(when, bed.set_capacity, rate)
+        sim.call_at(when, bed.set_capacity, rate)
     if experiment.faults:
         bed.install_faults(experiment.faults, streams.stream("faults"))
     if experiment.validate:
@@ -389,7 +399,7 @@ def run_experiment(experiment: Experiment) -> ExperimentResult:
             max_wall_seconds=experiment.max_wall_seconds,
         )
 
-    sim.at(experiment.warmup, bed.flows.open_windows, experiment.warmup)
+    sim.call_at(experiment.warmup, bed.flows.open_windows, experiment.warmup)
     sim.run(until=experiment.duration)
     if bed.invariant_checker is not None:
         bed.invariant_checker.check_now()

@@ -38,7 +38,11 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError, ParallelExecutionError
-from repro.harness.cache import ResultCache
+from repro.harness.cache import (
+    ResultCache,
+    SharedResultCache,
+    experiment_cache_key,
+)
 from repro.harness.experiment import Experiment, run_experiment
 from repro.harness.frozen import FrozenResult, freeze_result
 from repro.harness.resilience import (
@@ -90,8 +94,36 @@ def _run_payload(payload) -> TaskResult:
     returns instead of raising — exceptions would otherwise tear down the
     whole pool map and lose every sibling cell's work; the parent decides
     whether a failure is fatal based on ``on_error``.
+
+    When the parent executes through a :class:`SharedResultCache` it
+    ships the cache root as the payload's fifth element; the worker then
+    routes the simulation through the cache's per-key single-flight lock,
+    so identical cells running concurrently — in this pool or in a
+    *different process's* pool over the same cache — are computed once
+    and shared.  The worker publishes the entry itself (under the lock),
+    so the parent skips its own ``put`` for shared caches.
     """
-    experiment, label, on_error, max_retries = payload
+    experiment, label, on_error, max_retries, shared_root = payload
+    if shared_root is not None:
+        key = experiment_cache_key(experiment)
+        if key is not None:
+            cache = SharedResultCache(shared_root)
+            outcome: dict = {}
+
+            def compute() -> Optional[FrozenResult]:
+                result, failure = _simulate_payload(
+                    experiment, label, on_error, max_retries
+                )
+                outcome["failure"] = failure
+                return result
+
+            result = cache.fetch_or_compute(key, compute)
+            return result, outcome.get("failure")
+    return _simulate_payload(experiment, label, on_error, max_retries)
+
+
+def _simulate_payload(experiment, label, on_error, max_retries) -> TaskResult:
+    """The uncached worker body shared by both payload routes."""
     if on_error == "capture":
         result, failure = run_with_retries(
             experiment, label=label, max_retries=max_retries
@@ -172,8 +204,13 @@ def execute_tasks(
         pending.append(index)
 
     if pending:
+        # Shared caches push the store (and the single-flight lock) down
+        # into the workers; plain caches keep the parent-side put.
+        shared_root = (
+            str(cache.root) if isinstance(cache, SharedResultCache) else None
+        )
         payloads = [
-            (tasks[i].experiment, tasks[i].label, on_error, max_retries)
+            (tasks[i].experiment, tasks[i].label, on_error, max_retries, shared_root)
             for i in pending
         ]
         if n_jobs > 1 and len(pending) > 1:
@@ -186,7 +223,12 @@ def execute_tasks(
         for index, task_result in zip(pending, fresh):
             out[index] = task_result
             result, _failure = task_result
-            if cache is not None and result is not None and keys[index] is not None:
+            if (
+                shared_root is None
+                and cache is not None
+                and result is not None
+                and keys[index] is not None
+            ):
                 cache.put(keys[index], result)
 
     if on_error == "raise":

@@ -46,7 +46,11 @@ from multiprocessing import connection
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import ConfigError, ParallelExecutionError, SupervisorError
-from repro.harness.cache import ResultCache, experiment_cache_key
+from repro.harness.cache import (
+    ResultCache,
+    SharedResultCache,
+    experiment_cache_key,
+)
 from repro.harness.frozen import freeze_result
 from repro.harness.journal import ResultJournal
 from repro.harness.parallel import (
@@ -441,6 +445,18 @@ class _Supervisor:
     # -- worker lifecycle ------------------------------------------------
     def _spawn(self, ctx, state: _TaskState) -> bool:
         """Start one attempt; returns False on a spawn (pool) failure."""
+        if isinstance(self.cache, SharedResultCache):
+            # A concurrent sweep over the same shared cache may have
+            # published this cell since prefill; re-check before paying
+            # for a worker process.
+            key = self.keys[state.index]
+            if key is not None:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    self.out[state.index] = (hit, None)
+                    self.report.cache_hits += 1
+                    self._journal_append(state.index, hit)
+                    return True
         try:
             worker = _start_worker(ctx, state, self.config)
         except (OSError, RuntimeError) as exc:

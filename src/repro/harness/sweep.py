@@ -9,6 +9,7 @@ bar-chart panels).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -120,6 +121,7 @@ def run_coexistence_grid(
     supervisor=None,
     journal=None,
     resume: bool = False,
+    scheduler: str = "wheel",
 ) -> GridOutcome:
     """Run the Figure 15–18 grid; one long-running flow per class per cell.
 
@@ -172,6 +174,10 @@ def run_coexistence_grid(
                 warmup=min(warmup, d / 2),
                 seed=seed,
             )
+            if scheduler != exp.scheduler:
+                # A/B parity runs (CI's heap-vs-wheel digest gate) swap
+                # the engine backend without touching the cell config.
+                exp = dataclasses.replace(exp, scheduler=scheduler)
             cells.append((link, rtt, exp))
 
     outcome = GridOutcome()

@@ -8,11 +8,24 @@ Thin, allocation-friendly recorders used throughout the harness:
 * :class:`Sampler` — drives a recording callback on a fixed period (the
   paper's plots use a 1 s sampling interval; Figure 12's overshoot detail
   uses 100 ms).
+
+Storage
+-------
+Samples live in ``array('d')`` buffers: flat C double storage with
+amortized-doubling growth, so an append is one unboxed store instead of
+a boxed-``float`` + pointer append, and a million-sample trace costs
+8 MB instead of ~28 MB of float objects.  The numpy export copies out of
+the buffer (``np.frombuffer`` views would pin the buffer and make every
+later append raise ``BufferError``) and is cached until the next append.
+Pickles carry the raw buffers; :meth:`TimeSeries.__setstate__` also
+accepts the plain-list payloads written by earlier versions, so old
+result-cache entries stay loadable.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from array import array
+from typing import Any, Callable, Dict, Union
 
 import numpy as np
 
@@ -24,7 +37,7 @@ __all__ = ["TimeSeries", "Sampler"]
 class TimeSeries:
     """Append-only series of (time, value) points with numpy export.
 
-    The numpy views returned by :attr:`times`/:attr:`values` are built
+    The numpy arrays returned by :attr:`times`/:attr:`values` are built
     lazily and cached — figure and summary code calls ``window``/``mean``/
     ``percentile`` many times over the same finished series, and
     rebuilding a fresh array per access dominated those paths.  The cache
@@ -36,10 +49,10 @@ class TimeSeries:
 
     def __init__(self, name: str = ""):
         self.name = name
-        self._t: List[float] = []
-        self._v: List[float] = []
-        self._t_arr: Optional[np.ndarray] = None
-        self._v_arr: Optional[np.ndarray] = None
+        self._t: array = array("d")
+        self._v: array = array("d")
+        self._t_arr: Union[np.ndarray, None] = None
+        self._v_arr: Union[np.ndarray, None] = None
 
     def append(self, t: float, value: float) -> None:
         self._t.append(t)
@@ -54,14 +67,14 @@ class TimeSeries:
     def times(self) -> np.ndarray:
         arr = self._t_arr
         if arr is None:
-            arr = self._t_arr = np.asarray(self._t)
+            arr = self._t_arr = np.array(self._t, dtype=np.float64)
         return arr
 
     @property
     def values(self) -> np.ndarray:
         arr = self._v_arr
         if arr is None:
-            arr = self._v_arr = np.asarray(self._v)
+            arr = self._v_arr = np.array(self._v, dtype=np.float64)
         return arr
 
     def window(self, t_from: float, t_to: float) -> np.ndarray:
@@ -72,13 +85,15 @@ class TimeSeries:
 
     # The cached arrays are derived state; keep pickles (result cache,
     # process-pool transfer) lean by rebuilding them on demand instead.
-    def __getstate__(self):
+    def __getstate__(self) -> Dict[str, Any]:
         return {"name": self.name, "t": self._t, "v": self._v}
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: Dict[str, Any]) -> None:
         self.name = state["name"]
-        self._t = state["t"]
-        self._v = state["v"]
+        t, v = state["t"], state["v"]
+        # Pre-buffer pickles stored plain lists of boxed floats.
+        self._t = t if isinstance(t, array) else array("d", t)
+        self._v = v if isinstance(v, array) else array("d", v)
         self._t_arr = None
         self._v_arr = None
 

@@ -23,12 +23,12 @@ the simulator clock via :meth:`~repro.sim.engine.Simulator.advance_to` —
 for as long as
 
 * the queue is non-empty and the link is up,
-* the next completion falls strictly before the next foreign heap event
-  (:meth:`~repro.sim.engine.Simulator.peek_time`), and
+* the next completion sorts strictly before every foreign pending event
+  (:meth:`~repro.sim.engine.Simulator.pending_before`), and
 * the next completion does not pass the run's ``until`` bound
   (:attr:`~repro.sim.engine.Simulator.horizon`).
 
-Only the batch-terminating completion is scheduled as a real heap event.
+Only the batch-terminating completion is scheduled as a real event.
 Because the batch stops the moment any other event could fire, the
 callback order, every timestamp the queue/AQM/receivers observe, and all
 floating-point arithmetic are identical to the unbatched schedule — a
@@ -47,7 +47,6 @@ no-foreign-event rule.
 from __future__ import annotations
 
 from collections import deque
-from heapq import heappop
 from typing import Callable, Deque, Optional, Protocol, Tuple
 
 from repro.net.packet import Packet
@@ -240,7 +239,9 @@ class Link:
                 sim.now + tx_time, sim.reserve_seq(), self._on_tx_complete, packet
             )
         else:
-            sim.schedule(tx_time, self._on_tx_complete, packet)
+            # Fire-and-forget: nobody cancels a completion, so the pooled
+            # (no-handle) schedule avoids one Event allocation per packet.
+            sim.call_later(tx_time, self._on_tx_complete, packet)
 
     def _on_tx_complete(self, packet: Packet) -> None:
         """Deliver ``packet`` and drain further back-to-back transmissions.
@@ -252,8 +253,6 @@ class Link:
         other pending event.  See the module docstring for the invariant.
         """
         sim = self.sim
-        heap = sim._heap
-        streams = sim._streams
         drained = 1
         self._in_batch = True
         try:
@@ -278,33 +277,22 @@ class Link:
                 # Reserve the completion event's seq exactly where the
                 # unbatched path would schedule it, keeping the sequence
                 # stream — and every same-timestamp tie-break — identical
-                # in both modes.  (A foreign event at complete_at always
-                # has a smaller seq — ours was reserved last — so strict <
-                # on time is the full lexicographic rule here.)
+                # in both modes.
                 seq = sim.reserve_seq()
-                horizon = sim._horizon
+                horizon = sim.horizon
                 if (
                     self.batching
                     and horizon is not None
                     and complete_at <= horizon
+                    and not sim.pending_before(complete_at, seq)
                 ):
-                    # Inlined foreign-event check (sim.peek() without the
-                    # tuple round-trip).
-                    while heap and heap[0].cancelled:
-                        heappop(heap)
-                        if sim._cancelled_pending > 0:
-                            sim._cancelled_pending -= 1
-                    if (not heap or complete_at < heap[0].time) and (
-                        not streams or complete_at < streams[0][0]
-                    ):
-                        sim.now = complete_at
-                        sim._events_batched += 1
-                        packet = nxt
-                        drained += 1
-                        continue
+                    sim.advance_to(complete_at)
+                    packet = nxt
+                    drained += 1
+                    continue
                 # An event intervenes (or no run horizon / batching off):
                 # park this completion in the stream lane (batching) or
-                # fall back to the per-packet heap schedule.
+                # fall back to the per-packet schedule.
                 if self.batching:
                     sim.stream_schedule(
                         complete_at, seq, self._on_tx_complete, nxt
@@ -312,7 +300,7 @@ class Link:
                 else:
                     sim.at_reserved(complete_at, seq, self._on_tx_complete, nxt)
                 if drained > 1:
-                    sim._batch_breaks += 1
+                    sim.note_batch_break()
                 break
         finally:
             self._in_batch = False
@@ -331,7 +319,8 @@ class Link:
             if self.batching:
                 self._train_append(sink, packet)
             else:
-                self.sim.schedule(self.prop_delay, sink.deliver, packet)
+                # Fire-and-forget: deliveries are never cancelled.
+                self.sim.call_later(self.prop_delay, sink.deliver, packet)
         else:
             sink.deliver(packet)
 
@@ -360,40 +349,26 @@ class Link:
 
         Applies the same rule as the transmission drain: a successor is
         delivered inline only while its (due, seq) sorts strictly before
-        every foreign heap event and within the run horizon; otherwise
+        every foreign pending event and within the run horizon; otherwise
         the remainder is rescheduled as one event carrying the head
         entry's reserved seq — exactly the unbatched delivery event.
         """
         sim = self.sim
         train = self._train
-        heap = sim._heap
-        streams = sim._streams
-        horizon = sim._horizon
+        horizon = sim.horizon
         delivered = 0
         while train:
             due, seq, sink, packet = train[0]
             if delivered:
-                # Inlined foreign-event check, lexicographic on (time,
-                # seq): train entries carry old reserved seqs, so a
+                # Foreign-event check, lexicographic on (time, seq):
+                # train entries carry old reserved seqs, so a
                 # same-timestamp foreign event may sort either way.
                 if horizon is None or due > horizon:
                     break
-                while heap and heap[0].cancelled:
-                    heappop(heap)
-                    if sim._cancelled_pending > 0:
-                        sim._cancelled_pending -= 1
-                if heap:
-                    head = heap[0]
-                    if head.time < due or (head.time == due and head.seq < seq):
-                        sim._batch_breaks += 1
-                        break
-                if streams:
-                    head = streams[0]
-                    if head[0] < due or (head[0] == due and head[1] < seq):
-                        sim._batch_breaks += 1
-                        break
-                sim.now = due
-                sim._events_batched += 1
+                if sim.pending_before(due, seq):
+                    sim.note_batch_break()
+                    break
+                sim.advance_to(due)
             train.popleft()
             delivered += 1
             sink.deliver(packet)

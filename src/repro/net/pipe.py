@@ -39,7 +39,6 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from heapq import heappop
 from typing import Deque, Optional, Tuple
 
 from repro.net.link import Sink
@@ -107,7 +106,10 @@ class Pipe:
                 sim.stream_schedule(due, seq, self._drain)
                 self._train_pending = True
         else:
-            self.sim.schedule(delay, self._arrive, packet)
+            # Fire-and-forget: arrivals are never cancelled, so the
+            # pooled (no-handle) schedule avoids one Event allocation
+            # per packet on the unbatched / perturbed-delay paths.
+            self.sim.call_later(delay, self._arrive, packet)
 
     def _drain(self) -> None:
         """Deliver the due train entry, then coalesce successors inline.
@@ -120,34 +122,19 @@ class Pipe:
         """
         sim = self.sim
         train = self._train
-        heap = sim._heap
-        streams = sim._streams
-        horizon = sim._horizon
+        horizon = sim.horizon
         delivered = 0
         while train:
             due, seq, packet = train[0]
             if delivered:
-                # Inlined foreign-event check (sim.peek() without the
-                # tuple round-trip): deliver inline only while (due, seq)
-                # sorts strictly before every pending heap/stream event.
+                # Foreign-event check: deliver inline only while (due,
+                # seq) sorts strictly before every pending event.
                 if horizon is None or due > horizon:
                     break
-                while heap and heap[0].cancelled:
-                    heappop(heap)
-                    if sim._cancelled_pending > 0:
-                        sim._cancelled_pending -= 1
-                if heap:
-                    head = heap[0]
-                    if head.time < due or (head.time == due and head.seq < seq):
-                        sim._batch_breaks += 1
-                        break
-                if streams:
-                    head = streams[0]
-                    if head[0] < due or (head[0] == due and head[1] < seq):
-                        sim._batch_breaks += 1
-                        break
-                sim.now = due
-                sim._events_batched += 1
+                if sim.pending_before(due, seq):
+                    sim.note_batch_break()
+                    break
+                sim.advance_to(due)
             train.popleft()
             delivered += 1
             self._arrive(packet)

@@ -22,6 +22,8 @@ from repro.perf.bench import (
     bench_experiment,
     bench_grid,
     bench_link_batching,
+    bench_scheduler,
+    bench_shared_cache,
     bench_supervised,
     format_bench_table,
     run_benchmarks,
@@ -35,6 +37,8 @@ __all__ = [
     "bench_cancel_churn",
     "bench_experiment",
     "bench_link_batching",
+    "bench_scheduler",
+    "bench_shared_cache",
     "bench_grid",
     "bench_supervised",
     "run_benchmarks",

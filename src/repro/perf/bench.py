@@ -12,6 +12,13 @@ Four layers, each answering one question:
   on a grid workload?  Runs the same cells with ``link_batching`` off
   and on, reports logical events/sec both ways plus the speedup, and
   asserts bit-exact digest parity between the two modes.
+* :func:`bench_scheduler` — what does the timer-wheel event core buy
+  over the reference binary heap?  A 4-cell timer-population ×
+  delay-spread grid, events/sec per backend plus dispatch-order and
+  experiment digest parity (``matches_heap``).
+* :func:`bench_shared_cache` — does the cross-process single-flight
+  cache collapse N workers' repeated-figure requests to one simulation
+  per unique cell (``single_flight_ok``)?
 * :func:`bench_grid` — what does a paper grid (Figures 15–18 shaped)
   cost wall-clock: serial, parallel (``jobs``), cold cache, warm cache?
 
@@ -45,6 +52,8 @@ __all__ = [
     "bench_cancel_churn",
     "bench_experiment",
     "bench_link_batching",
+    "bench_scheduler",
+    "bench_shared_cache",
     "bench_grid",
     "bench_supervised",
     "run_benchmarks",
@@ -239,6 +248,227 @@ def bench_link_batching(
     )
 
 
+#: The scheduler A/B grid: timer populations × delay spreads.  The
+#: populations bracket light and heavy concurrent-timer loads; the
+#: spreads are the engine's *residual* event delays in real experiments
+#: — AQM sample ticks (~16 ms) and paper-scale ACK-clock RTTs (up to
+#: 100 ms).  Sub-millisecond serialization events are absent on purpose:
+#: those ride the link/pipe stream lanes (PR 3's batching), never the
+#: scheduler.
+SCHEDULER_GRID = ((1024, 0.016), (4096, 0.016), (1024, 0.1), (4096, 0.1))
+
+
+def _scheduler_workload(scheduler, population, spread, target, trace=None):
+    """Run ``target`` self-rescheduling timers; returns (events, cpu_s).
+
+    The delay pattern is a deterministic Weyl-style spread over
+    ``[0.1 ms, spread]`` so both backends see the identical schedule.
+    With ``trace`` given, every dispatch appends ``(now, timer_id)`` —
+    the material for the pop-order digest — at the cost of the append,
+    so parity passes and timing passes are kept separate.
+    """
+    sim = Simulator(scheduler=scheduler)
+    count = [0]
+
+    if trace is None:
+        def tick(i, d):
+            count[0] += 1
+            sim.call_later(d, tick, i, d)
+    else:
+        def tick(i, d):
+            count[0] += 1
+            trace.append((sim.now, i))
+            sim.call_later(d, tick, i, d)
+
+    for i in range(population):
+        d = 0.0001 + ((i * 2654435761) % 1200) / 1200.0 * spread
+        sim.call_later(d, tick, i, d)
+    sim.run(until=sim.now + 0.05)  # warm the wheel/heap before timing
+    count[0] = 0
+    # repro: allow[DET] wall/CPU measurement only; never feeds simulation state
+    start = time.process_time()
+    until = sim.now
+    while count[0] < target:
+        until += 1.0
+        sim.run(until)
+    # repro: allow[DET] wall/CPU measurement only; never feeds simulation state
+    return count[0], time.process_time() - start
+
+
+def bench_scheduler(
+    events_per_cell: int = 80_000,
+    repeats: int = 3,
+    seed: int = 1,
+) -> BenchRecord:
+    """A/B the timer-wheel scheduler against the reference heap.
+
+    Two layers of comparison over the 4-cell :data:`SCHEDULER_GRID`:
+
+    * **Parity** — an untimed traced pass per cell hashes the full
+      ``(time, timer)`` dispatch stream of each backend; plus one real
+      experiment (the quick grid's smallest cell) run under both
+      backends and compared by result digest.  Any divergence makes
+      ``matches_heap`` False, which fails ``repro bench`` and the perf
+      smoke test.
+    * **Throughput** — per cell, ``repeats`` interleaved timed passes
+      per backend on CPU time (best-of, so scheduler preemption noise
+      cancels); the headline ``speedup_vs_heap`` is the grid-aggregate
+      events/sec ratio (total events over summed best times).
+    """
+    import hashlib as _hashlib
+
+    from dataclasses import replace
+
+    from repro.harness.experiment import run_experiment
+    from repro.harness.scenarios import coexistence_pair
+
+    matches = True
+    for population, spread in SCHEDULER_GRID:
+        digests = {}
+        for scheduler in ("heap", "wheel"):
+            trace: List[tuple] = []
+            _scheduler_workload(
+                scheduler, population, spread, events_per_cell // 4, trace
+            )
+            digests[scheduler] = _hashlib.sha256(
+                repr(trace).encode()
+            ).hexdigest()
+        matches = matches and digests["heap"] == digests["wheel"]
+
+    # Experiment-level parity: same cell, both backends, equal digests.
+    base = coexistence_pair(
+        pi2_factory(),
+        capacity_bps=4 * 1_000_000,
+        rtt=10 / 1_000.0,
+        duration=5.0,
+        warmup=2.0,
+        seed=seed,
+    )
+    exp_digests = {
+        scheduler: run_experiment(replace(base, scheduler=scheduler)).digest()
+        for scheduler in ("heap", "wheel")
+    }
+    matches = matches and exp_digests["heap"] == exp_digests["wheel"]
+
+    totals = {"heap": 0.0, "wheel": 0.0}
+    events = {"heap": 0, "wheel": 0}
+    for population, spread in SCHEDULER_GRID:
+        best = {"heap": float("inf"), "wheel": float("inf")}
+        cell_events = {"heap": 0, "wheel": 0}
+        for _ in range(repeats):
+            for scheduler in ("heap", "wheel"):
+                n, cpu = _scheduler_workload(
+                    scheduler, population, spread, events_per_cell
+                )
+                if cpu < best[scheduler]:
+                    best[scheduler] = cpu
+                    cell_events[scheduler] = n
+        for scheduler in ("heap", "wheel"):
+            totals[scheduler] += best[scheduler]
+            events[scheduler] += cell_events[scheduler]
+
+    eps_heap = events["heap"] / totals["heap"] if totals["heap"] > 0 else 0.0
+    eps_wheel = events["wheel"] / totals["wheel"] if totals["wheel"] > 0 else 0.0
+    return BenchRecord(
+        "scheduler",
+        totals["wheel"],
+        events=events["wheel"],
+        extra={
+            "cells": len(SCHEDULER_GRID),
+            "cpu_seconds_heap": totals["heap"],
+            "events_per_sec_heap": eps_heap,
+            "speedup_vs_heap": eps_wheel / eps_heap if eps_heap > 0 else 0.0,
+            "matches_heap": matches,
+        },
+    )
+
+
+def _shared_cache_worker(payload):
+    """Pool body for :func:`bench_shared_cache`: fetch every cell once."""
+    from repro.harness.cache import SharedResultCache
+    from repro.harness.experiment import run_experiment
+    from repro.harness.frozen import freeze_result
+
+    root, cells = payload
+    cache = SharedResultCache(root)
+    digests = []
+    for key, experiment in cells:
+        result = cache.fetch_or_compute(
+            key, lambda experiment=experiment: freeze_result(
+                run_experiment(experiment)
+            )
+        )
+        digests.append(result.digest_hex())
+    return digests
+
+
+def bench_shared_cache(
+    jobs: Optional[int] = None,
+    seed: int = 1,
+) -> BenchRecord:
+    """Single-flight dedup under a parallel repeated-figure workload.
+
+    ``jobs`` workers (capped at 4) each request the *same* set of unique
+    cells through one :class:`~repro.harness.cache.SharedResultCache` —
+    the repeated-figure shape, N processes asking for one grid.  The
+    per-key file locks must collapse the ``workers x cells`` requests to
+    exactly ``cells`` simulations (``compute_count``), everyone else
+    waiting and sharing; ``single_flight_ok`` gates that, and digest
+    equality across workers gates that shared results are the same
+    object the computing worker produced.
+    """
+    import multiprocessing
+
+    from repro.harness.cache import SharedResultCache, experiment_cache_key
+    from repro.harness.parallel import resolve_jobs
+    from repro.harness.scenarios import coexistence_pair
+
+    workers = min(resolve_jobs(jobs), 4)
+    cells = []
+    for rtt_ms in (5, 10):
+        experiment = coexistence_pair(
+            pi2_factory(),
+            capacity_bps=4 * 1_000_000,
+            rtt=rtt_ms / 1_000.0,
+            duration=3.0,
+            warmup=1.0,
+            seed=seed,
+        )
+        cells.append((experiment_cache_key(experiment), experiment))
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-shared-") as root:
+        payload = (root, cells)
+        start = time.perf_counter()
+        if workers > 1:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(processes=workers) as pool:
+                digest_lists = pool.map(
+                    _shared_cache_worker, [payload] * workers
+                )
+        else:
+            digest_lists = [_shared_cache_worker(payload)]
+        wall = time.perf_counter() - start
+        counts = SharedResultCache(root).event_counts()
+
+    digests_equal = len({tuple(d) for d in digest_lists}) == 1
+    compute_count = counts["compute"]
+    return BenchRecord(
+        "shared_cache",
+        wall,
+        extra={
+            "workers": workers,
+            "unique_cells": len(cells),
+            "requests": workers * len(cells),
+            "compute_count": compute_count,
+            "wait_count": counts["wait"],
+            "dedup_saved_runs": workers * len(cells) - compute_count,
+            "single_flight_ok": (
+                compute_count == len(cells) and digests_equal
+            ),
+        },
+    )
+
+
 def bench_grid(
     jobs: Optional[int] = None,
     grid: Optional[dict] = None,
@@ -416,6 +646,10 @@ def run_benchmarks(
             ),
             seed=seed,
         ),
+        bench_scheduler(
+            events_per_cell=80_000 * (1 if quick else 2), seed=seed
+        ),
+        bench_shared_cache(jobs=jobs, seed=seed),
     ]
     records.extend(
         bench_grid(jobs=jobs, grid=QUICK_GRID if quick else FULL_GRID, seed=seed)
@@ -470,13 +704,19 @@ def format_bench_table(payload: Dict[str, object]) -> str:
     rows = []
     for bench in payload["benchmarks"]:
         note_parts = []
-        for key in ("speedup_vs_serial", "speedup_vs_cold", "speedup_vs_unbatched"):
+        for key in ("speedup_vs_serial", "speedup_vs_cold", "speedup_vs_unbatched",
+                    "speedup_vs_heap"):
             if key in bench:
                 note_parts.append(f"{key.split('_vs_')[-1]}×{bench[key]:.2f}")
         for key in ("matches_serial", "matches_cold", "matches_unbatched",
-                    "matches_resume"):
+                    "matches_resume", "matches_heap"):
             if key in bench and not bench[key]:
                 note_parts.append("MISMATCH!")
+        if "single_flight_ok" in bench:
+            note_parts.append(
+                f"dedup {bench['requests']}→{bench['compute_count']}"
+                + ("" if bench["single_flight_ok"] else " SINGLE-FLIGHT!")
+            )
         if "journal_overhead_pct" in bench:
             note_parts.append(f"journal+{bench['journal_overhead_pct']:.1f}%")
             if not bench.get("journal_overhead_ok", True):

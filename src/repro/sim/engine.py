@@ -1,51 +1,86 @@
 """Discrete-event simulation engine.
 
 This is the substrate that replaces the paper's physical Linux testbed
-(Figure 10).  It is a classic calendar-queue simulator: a binary heap of
-timestamped events, a virtual clock, and helpers for one-shot and periodic
-callbacks.  Everything else in the repository (links, queues, TCP senders,
-AQM update timers) is driven by this engine.
+(Figure 10).  It is a two-tier event scheduler: a 256-slot timer wheel
+for the dense near-horizon events that dominate a packet simulation
+(serialization completions, ACK clocks, AQM sample ticks — delays
+bounded by RTT and sample interval), a binary-heap overflow lane for
+sparse far-future events (watchdogs, fault flaps, long timers), and a
+virtual clock with helpers for one-shot and periodic callbacks.
+Everything else in the repository (links, queues, TCP senders, AQM
+update timers) is driven by this engine.
 
 Determinism
 -----------
 Events scheduled for the same timestamp fire in scheduling order (a
 monotonic sequence number breaks ties), so a simulation with a fixed seed
-is exactly reproducible run-to-run and platform-to-platform.  Heap
-compaction (below) only ever removes cancelled events and re-heapifies;
-the (time, seq) total order means the pop sequence is unchanged, so
-compaction never perturbs results.
+is exactly reproducible run-to-run and platform-to-platform.  Both
+scheduler backends (``scheduler="wheel"``, the default, and
+``scheduler="heap"``, the reference single-heap path) dispatch in the
+identical ``(time, seq)`` total order, so a fixed seed produces
+bit-exact ``digest()``-equal results under either; the heap path is kept
+selectable for A/B verification.  Compaction (below) only ever removes
+cancelled events and re-heapifies; the (time, seq) total order means the
+pop sequence is unchanged, so compaction never perturbs results.
+
+The timer wheel
+---------------
+The wheel divides time into 1/1024-second slots, 256 of them (a ~0.25 s
+window).  An event due within the window is pushed onto the mini-heap of
+its slot — a plain list of ``(time, seq, Event)`` tuples, so ordering
+costs C tuple comparisons over a bucket of a few dozen entries instead
+of Python ``Event.__lt__`` calls over one heap of thousands.  Events due
+beyond the window go to the overflow heap and are never migrated; the
+dispatch loop merges the first live wheel entry, the overflow head and
+the stream lane by ``(time, seq)`` at every pop, which preserves the
+global total order exactly.  A live wheel entry's absolute slot index
+always lies within the current 256-slot window (its time is at least
+``now`` and was within the window when pushed), so the wheel scan —
+starting from a cached hint and visiting at most 256 slots — always
+finds the earliest live entry.
 
 Cancelled events
 ----------------
-Cancellation is lazy: a cancelled event stays in the heap and is skipped
+Cancellation is lazy: a cancelled event stays in its lane and is skipped
 when popped.  Workloads that re-arm timers constantly (every TCP ACK
 cancels and reschedules the retransmission timer) can accumulate large
 numbers of dead entries, inflating every push/pop.  The simulator counts
-cancellations and compacts the heap in place once the dead fraction
-crosses a threshold, keeping heap operations proportional to *live*
-events.
+cancellations and compacts the lanes in place once the dead fraction
+crosses a threshold, keeping scheduling operations proportional to
+*live* events.
+
+Event pooling
+-------------
+Most scheduled callbacks are fire-and-forget — nobody keeps the returned
+:class:`Event` handle, so allocating one per packet is pure churn.
+:meth:`Simulator.call_later` / :meth:`Simulator.call_at` are the pooled
+twins of :meth:`schedule` / :meth:`at`: they return ``None``, draw the
+``Event`` from a bounded freelist, and recycle it after dispatch.
+Because no reference escapes, a pooled event can never be cancelled or
+observed after reuse.  Sequence-number consumption is identical to the
+unpooled calls, so pooling never perturbs the (time, seq) schedule.
 
 Event batching
 --------------
-A component that knows its *own* next event time can avoid the heap
-entirely: inside a callback it may call :meth:`Simulator.peek` to see
-when the next foreign event is due and, if its continuation sorts
-strictly before that (and within the current :attr:`Simulator.horizon`),
-handle it inline via :meth:`Simulator.advance_to` instead of scheduling
-it.  The bottleneck :class:`~repro.net.link.Link` drains back-to-back
-packet transmissions this way, and :class:`~repro.net.pipe.Pipe` keeps
-its in-flight packets on an *arrival train* served by a single pending
-heap event instead of one event per packet — which also shrinks the heap
+A component that knows its *own* next event time can avoid the scheduler
+entirely: inside a callback it may ask :meth:`Simulator.pending_before`
+whether any foreign event sorts before its continuation and, if not (and
+within the current :attr:`Simulator.horizon`), handle it inline via
+:meth:`Simulator.advance_to` instead of scheduling it.  The bottleneck
+:class:`~repro.net.link.Link` drains back-to-back packet transmissions
+this way, and :class:`~repro.net.pipe.Pipe` keeps its in-flight packets
+on an *arrival train* served by a single pending continuation instead of
+one event per packet — which also shrinks the pending-event population
 from thousands of entries (every in-flight packet) to a handful, making
 every remaining push/pop cheaper.
 
 Bit-exactness rests on two rules.  First, inline handling is only
-allowed when the continuation provably sorts before every pending heap
+allowed when the continuation provably sorts before every pending
 event, so nothing that *would* have fired earlier is displaced.  Second,
 batchers draw their sequence numbers from the same counter at the same
 points as the unbatched code (:meth:`Simulator.reserve_seq` /
 :meth:`Simulator.at_reserved`), so the ``(time, seq)`` identity of every
-event — heaped or absorbed — is identical in both modes and every
+event — scheduled or absorbed — is identical in both modes and every
 same-timestamp tie breaks the same way.  A batched run therefore
 produces bit-exact results (equal ``digest()``\\ s) for a fixed seed.
 Absorbed events are counted in :attr:`Simulator.events_batched`; a batch
@@ -67,11 +102,36 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import CallbackError, SimulationError, WatchdogExceeded
 
 __all__ = ["Simulator", "Event", "PeriodicTimer", "Watchdog"]
+
+#: Wheel geometry: 256 slots of 1/1024 s — a ~0.25 s near-horizon window
+#: that covers serialization times, paper-scale RTTs and AQM sample
+#: intervals.  Power-of-two width so the time→slot multiply is exact.
+_WHEEL_SLOTS = 256
+_WHEEL_MASK = _WHEEL_SLOTS - 1
+_INV_WIDTH = 1024.0
+_WIDTH = 1.0 / _INV_WIDTH
+#: Horizon for direct wheel placement, as a *delay* from ``now``.  With
+#: truncating slot arithmetic, ``idx - base <= (t - now) * _INV_WIDTH + 1``,
+#: so any delay under 255 slot-widths is guaranteed to land inside the
+#: 256-slot window — one float compare replaces two int conversions on
+#: the push hot path.  Delays in the sliver [255, 256) slot-widths go to
+#: the overflow heap instead; lane placement never affects pop order.
+_WHEEL_SAFE = (_WHEEL_SLOTS - 1) * _WIDTH
+
+_heappush = heapq.heappush
+
+#: Upper bound on the pooled-event freelist; beyond this, recycled
+#: events are simply dropped for the GC.
+_POOL_MAX = 1024
+
+
+def _nop() -> None:  # pragma: no cover - placeholder, never dispatched
+    """Callback held by recycled pool events so no user refs are pinned."""
 
 
 class Event:
@@ -79,11 +139,11 @@ class Event:
 
     Holding a reference to the returned :class:`Event` allows cancellation
     (used e.g. by TCP retransmission timers that are re-armed on every ACK).
-    Cancelled events stay in the heap but are skipped when popped; this is
+    Cancelled events stay in their lane but are skipped when popped; this is
     the standard lazy-deletion scheme and keeps cancellation O(1).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "sim")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "sim", "recycle")
 
     def __init__(
         self,
@@ -99,6 +159,10 @@ class Event:
         self.args = args
         self.cancelled = False
         self.sim = sim
+        #: Pool-managed events (``call_later``/``call_at``) are returned
+        #: to the freelist after dispatch; never set on events whose
+        #: reference escaped to a caller.
+        self.recycle = False
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
@@ -116,6 +180,10 @@ class Event:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"
         return f"<Event t={self.time:.6f} {getattr(self.fn, '__name__', self.fn)} {state}>"
+
+
+#: Wheel/overflow lane entry: compares in C, no ``Event.__lt__`` frames.
+_WheelEntry = Tuple[float, int, Event]
 
 
 class Watchdog:
@@ -157,6 +225,12 @@ class Simulator:
     ----------
     start_time:
         Initial value of the virtual clock, in seconds.  Defaults to 0.
+    scheduler:
+        Event-core backend: ``"wheel"`` (default) uses the 256-slot timer
+        wheel with heap overflow; ``"heap"`` is the reference single
+        binary heap.  Both dispatch in the identical ``(time, seq)``
+        order — results are bit-exact either way; the heap is kept for
+        A/B verification and benchmarking.
 
     Notes
     -----
@@ -172,12 +246,32 @@ class Simulator:
     #: would cost more than it saves.
     COMPACT_THRESHOLD = 1024
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0, scheduler: str = "wheel"):
+        if scheduler not in ("heap", "wheel"):
+            raise ValueError(
+                f"scheduler must be 'heap' or 'wheel' (got {scheduler!r})"
+            )
+        self.scheduler = scheduler
         self.now: float = start_time
-        self._heap: list[Event] = []
+        #: Reference lane (scheduler="heap"): a single binary heap of
+        #: :class:`Event` objects.
+        self._heap: List[Event] = []
         #: Stream lane: (time, seq, fn, args) tuples for batcher
-        #: continuations (see :meth:`stream_schedule`).
-        self._streams: list = []
+        #: continuations (see :meth:`stream_schedule`).  Shared by both
+        #: scheduler backends.
+        self._streams: List[Tuple[float, int, Callable[..., Any], tuple]] = []
+        #: Timer wheel (scheduler="wheel"): per-slot mini-heaps of
+        #: ``(time, seq, Event)`` plus a far-future overflow heap.
+        self._wheel_on = scheduler == "wheel"
+        self._epoch = start_time
+        self._wheel: List[List[_WheelEntry]] = [[] for _ in range(_WHEEL_SLOTS)]
+        self._overflow: List[_WheelEntry] = []
+        self._wheel_count = 0
+        #: Lower bound on the absolute slot index of the earliest wheel
+        #: entry; lowered on push, advanced by the head scan.
+        self._hint = 0
+        #: Freelist for pool-managed events (:meth:`call_later`).
+        self._pool: List[Event] = []
         self._seq = itertools.count()
         self._events_processed = 0
         self._cancelled_pending = 0
@@ -224,8 +318,86 @@ class Simulator:
                 f"cannot schedule at t={time} before current time {self.now}"
             )
         ev = Event(time, next(self._seq), fn, args, sim=self)
-        heapq.heappush(self._heap, ev)
+        if self._wheel_on:
+            if time - self.now < _WHEEL_SAFE:
+                idx = int((time - self._epoch) * _INV_WIDTH)
+                _heappush(self._wheel[idx & _WHEEL_MASK], (time, ev.seq, ev))
+                self._wheel_count += 1
+                if idx < self._hint:
+                    self._hint = idx
+            else:
+                _heappush(self._overflow, (time, ev.seq, ev))
+        else:
+            _heappush(self._heap, ev)
         return ev
+
+    def call_later(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle, pooled ``Event``.
+
+        Identical (time, seq) semantics to :meth:`schedule`, but the
+        event object is drawn from a bounded freelist and recycled after
+        dispatch, cutting allocator churn on per-packet hot paths.  The
+        caller cannot cancel the event — use :meth:`schedule` when a
+        handle is needed.  (The lane push is inlined here rather than
+        delegated: this is the engine's hottest entry point and the
+        extra frames are measurable.)
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        time = self.now + delay
+        seq = next(self._seq)
+        pool = self._pool
+        if pool:
+            # Freelisted events keep ``recycle=True`` for their lifetime,
+            # so reuse touches only the four live fields.
+            ev = pool.pop()
+            ev.time = time
+            ev.seq = seq
+            ev.fn = fn
+            ev.args = args
+        else:
+            ev = Event(time, seq, fn, args, sim=self)
+            ev.recycle = True
+        if self._wheel_on:
+            if delay < _WHEEL_SAFE:
+                idx = int((time - self._epoch) * _INV_WIDTH)
+                _heappush(self._wheel[idx & _WHEEL_MASK], (time, seq, ev))
+                self._wheel_count += 1
+                if idx < self._hint:
+                    self._hint = idx
+            else:
+                _heappush(self._overflow, (time, seq, ev))
+        else:
+            _heappush(self._heap, ev)
+
+    def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`at`: no handle, pooled ``Event``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at t={time} before current time {self.now}"
+            )
+        pool = self._pool
+        seq = next(self._seq)
+        if pool:
+            ev = pool.pop()
+            ev.time = time
+            ev.seq = seq
+            ev.fn = fn
+            ev.args = args
+        else:
+            ev = Event(time, seq, fn, args, sim=self)
+            ev.recycle = True
+        if self._wheel_on:
+            if time - self.now < _WHEEL_SAFE:
+                idx = int((time - self._epoch) * _INV_WIDTH)
+                _heappush(self._wheel[idx & _WHEEL_MASK], (time, seq, ev))
+                self._wheel_count += 1
+                if idx < self._hint:
+                    self._hint = idx
+            else:
+                _heappush(self._overflow, (time, seq, ev))
+        else:
+            _heappush(self._heap, ev)
 
     # ------------------------------------------------------------------
     # Cancelled-event accounting
@@ -234,29 +406,103 @@ class Simulator:
         """Called by :meth:`Event.cancel`; triggers compaction past the
         threshold once dead entries outnumber live ones."""
         self._cancelled_pending += 1
-        if (
-            self._cancelled_pending >= self.COMPACT_THRESHOLD
-            and self._cancelled_pending * 2 >= len(self._heap)
-        ):
-            self.compact()
+        if self._cancelled_pending >= self.COMPACT_THRESHOLD:
+            size = (
+                self._wheel_count + len(self._overflow)
+                if self._wheel_on
+                else len(self._heap)
+            )
+            if self._cancelled_pending * 2 >= size:
+                self.compact()
 
     def compact(self) -> int:
-        """Drop cancelled events from the heap; returns how many were removed.
+        """Drop cancelled events from the lanes; returns how many were removed.
 
-        The heap list is mutated in place (``run`` holds a local reference
-        to it), and re-heapified.  Safe to call at any time, including from
-        inside an event callback; pop order is unaffected because events
-        are totally ordered by (time, seq).
+        The lane lists are mutated in place (``run`` holds local
+        references to them), and re-heapified.  Safe to call at any time,
+        including from inside an event callback; pop order is unaffected
+        because events are totally ordered by (time, seq).
         """
-        heap = self._heap
-        before = len(heap)
-        heap[:] = [ev for ev in heap if not ev.cancelled]
-        removed = before - len(heap)
+        removed = 0
+        if self._wheel_on:
+            count = 0
+            for bucket in self._wheel:
+                if not bucket:
+                    continue
+                before = len(bucket)
+                bucket[:] = [e for e in bucket if not e[2].cancelled]
+                dropped = before - len(bucket)
+                if dropped:
+                    removed += dropped
+                    heapq.heapify(bucket)
+                count += len(bucket)
+            self._wheel_count = count
+            overflow = self._overflow
+            before = len(overflow)
+            overflow[:] = [e for e in overflow if not e[2].cancelled]
+            dropped = before - len(overflow)
+            if dropped:
+                removed += dropped
+                heapq.heapify(overflow)
+        else:
+            heap = self._heap
+            before = len(heap)
+            heap[:] = [ev for ev in heap if not ev.cancelled]
+            removed = before - len(heap)
+            if removed:
+                heapq.heapify(heap)
         if removed:
-            heapq.heapify(heap)
             self._compactions += 1
         self._cancelled_pending = 0
         return removed
+
+    # ------------------------------------------------------------------
+    # Lane heads (shared by peek/step/pending_before; run() inlines this)
+    # ------------------------------------------------------------------
+    def _find_bucket(self) -> Optional[List[_WheelEntry]]:
+        """Scan to the first wheel bucket with a live head and return it.
+
+        Pops lazily-cancelled heads on the way (exactly as the dispatch
+        loop would) and advances :attr:`_hint`.  Returns ``None`` when
+        the wheel holds no live entries.  Every live entry's absolute
+        slot index lies in ``[base, base + 256)`` (see module docstring),
+        so a single 256-slot sweep starting at ``max(hint, base)`` is
+        exhaustive.
+        """
+        if not self._wheel_count:
+            return None
+        wheel = self._wheel
+        heappop = heapq.heappop
+        base = int((self.now - self._epoch) * _INV_WIDTH)
+        a = self._hint
+        if a < base:
+            a = base
+        stop = a + _WHEEL_SLOTS
+        count = self._wheel_count
+        while a < stop:
+            bucket = wheel[a & _WHEEL_MASK]
+            while bucket:
+                if bucket[0][2].cancelled:
+                    heappop(bucket)
+                    count -= 1
+                    if self._cancelled_pending > 0:
+                        self._cancelled_pending -= 1
+                else:
+                    self._wheel_count = count
+                    self._hint = a
+                    return bucket
+            a += 1
+        self._wheel_count = count
+        self._hint = a
+        return None
+
+    def _clean_overflow(self) -> None:
+        """Pop lazily-cancelled events off the overflow heap's head."""
+        overflow = self._overflow
+        while overflow and overflow[0][2].cancelled:
+            heapq.heappop(overflow)
+            if self._cancelled_pending > 0:
+                self._cancelled_pending -= 1
 
     # ------------------------------------------------------------------
     # Inline event batching (see module docstring, "Event batching")
@@ -264,37 +510,81 @@ class Simulator:
     def peek(self) -> Optional[Tuple[float, int]]:
         """``(time, seq)`` of the next pending event, or None if idle.
 
-        Considers both the general heap and the stream lane.  Lazily-
-        cancelled events at the top of the heap are discarded on the way,
-        exactly as the run loop would skip them, so peeking never changes
-        which callbacks fire or when.  The ``seq`` lets a batcher compare
-        its own *reserved* event identity lexicographically — the exact
-        tie-break the dispatch loop applies at equal timestamps.
+        Considers every lane (wheel + overflow or heap, plus the stream
+        lane).  Lazily-cancelled events at the lane heads are discarded
+        on the way, exactly as the run loop would skip them, so peeking
+        never changes which callbacks fire or when.  The ``seq`` lets a
+        batcher compare its own *reserved* event identity
+        lexicographically — the exact tie-break the dispatch loop applies
+        at equal timestamps.
         """
-        heap = self._heap
-        while heap:
-            head = heap[0]
-            if not head.cancelled:
-                break
-            heapq.heappop(heap)
-            if self._cancelled_pending > 0:
-                self._cancelled_pending -= 1
+        best: Optional[Tuple[float, int]] = None
+        if self._wheel_on:
+            bucket = self._find_bucket()
+            if bucket:
+                best = (bucket[0][0], bucket[0][1])
+            self._clean_overflow()
+            overflow = self._overflow
+            if overflow:
+                cand = (overflow[0][0], overflow[0][1])
+                if best is None or cand < best:
+                    best = cand
+        else:
+            heap = self._heap
+            while heap and heap[0].cancelled:
+                heapq.heappop(heap)
+                if self._cancelled_pending > 0:
+                    self._cancelled_pending -= 1
+            if heap:
+                best = (heap[0].time, heap[0].seq)
         streams = self._streams
-        if heap:
-            head = heap[0]
-            if streams and streams[0][0] <= head.time:
-                entry = streams[0]
-                if entry[0] < head.time or entry[1] < head.seq:
-                    return (entry[0], entry[1])
-            return (head.time, head.seq)
         if streams:
-            return (streams[0][0], streams[0][1])
-        return None
+            cand = (streams[0][0], streams[0][1])
+            if best is None or cand < best:
+                best = cand
+        return best
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next pending (non-cancelled) event, or None."""
         head = self.peek()
         return None if head is None else head[0]
+
+    def pending_before(self, time: float, seq: int) -> bool:
+        """True iff a pending event sorts strictly before ``(time, seq)``.
+
+        The batchers' foreign-event test: a continuation with identity
+        ``(time, seq)`` may be handled inline only when nothing else can
+        fire first.  Spans every lane and discards lazily-cancelled lane
+        heads on the way, exactly as :meth:`peek` does.
+        """
+        if self._wheel_on:
+            bucket = self._find_bucket()
+            if bucket:
+                head = bucket[0]
+                if head[0] < time or (head[0] == time and head[1] < seq):
+                    return True
+            self._clean_overflow()
+            overflow = self._overflow
+            if overflow:
+                entry = overflow[0]
+                if entry[0] < time or (entry[0] == time and entry[1] < seq):
+                    return True
+        else:
+            heap = self._heap
+            while heap and heap[0].cancelled:
+                heapq.heappop(heap)
+                if self._cancelled_pending > 0:
+                    self._cancelled_pending -= 1
+            if heap:
+                ev = heap[0]
+                if ev.time < time or (ev.time == time and ev.seq < seq):
+                    return True
+        streams = self._streams
+        if streams:
+            s = streams[0]
+            if s[0] < time or (s[0] == time and s[1] < seq):
+                return True
+        return False
 
     def reserve_seq(self) -> int:
         """Claim the sequence number the next scheduled event would get.
@@ -313,7 +603,7 @@ class Simulator:
     def at_reserved(
         self, time: float, seq: int, fn: Callable[..., Any], *args: Any
     ) -> Event:
-        """Schedule a heap event carrying a seq from :meth:`reserve_seq`.
+        """Schedule an event carrying a seq from :meth:`reserve_seq`.
 
         The unbatched twin of :meth:`stream_schedule`: components that
         reserve their continuation seq up front use this when batching is
@@ -325,7 +615,17 @@ class Simulator:
                 f"cannot schedule at t={time} before current time {self.now}"
             )
         ev = Event(time, seq, fn, args, sim=self)
-        heapq.heappush(self._heap, ev)
+        if self._wheel_on:
+            if time - self.now < _WHEEL_SAFE:
+                idx = int((time - self._epoch) * _INV_WIDTH)
+                _heappush(self._wheel[idx & _WHEEL_MASK], (time, seq, ev))
+                self._wheel_count += 1
+                if idx < self._hint:
+                    self._hint = idx
+            else:
+                _heappush(self._overflow, (time, seq, ev))
+        else:
+            _heappush(self._heap, ev)
         return ev
 
     def stream_schedule(
@@ -334,8 +634,8 @@ class Simulator:
         """Schedule a batcher continuation in the stream lane.
 
         The stream lane is a second, small heap of plain ``(time, seq,
-        fn, args)`` tuples that the dispatch loop merges with the general
-        event heap in exact ``(time, seq)`` order.  Batchers (the link's
+        fn, args)`` tuples that the dispatch loop merges with the other
+        lanes in exact ``(time, seq)`` order.  Batchers (the link's
         transmission drain, pipe arrival trains) route their per-packet
         continuations here: tuples compare in C (no :meth:`Event.__lt__`
         round-trips), nothing is allocated per event, and the lane stays
@@ -354,10 +654,10 @@ class Simulator:
         """Move the clock forward inside a callback, absorbing one event.
 
         This is the event-batching primitive: a component that has proven
-        (via :meth:`peek` and :attr:`horizon`) that nothing else can fire
-        before ``time`` may advance the clock itself and handle its
-        continuation inline instead of scheduling it.  Each call counts
-        one absorbed heap event in :attr:`events_batched`.
+        (via :meth:`pending_before` and :attr:`horizon`) that nothing
+        else can fire before ``time`` may advance the clock itself and
+        handle its continuation inline instead of scheduling it.  Each
+        call counts one absorbed event in :attr:`events_batched`.
         """
         if time < self.now:
             raise ValueError(
@@ -370,7 +670,7 @@ class Simulator:
         """Record that a batch had to stop because an event intervened.
 
         Called by batching components (the link) when they fall back to
-        scheduling a real heap event mid-drain; exposed as
+        scheduling a real event mid-drain; exposed as
         :attr:`batch_breaks` so batching efficiency is observable.
         """
         self._batch_breaks += 1
@@ -421,6 +721,9 @@ class Simulator:
         """
         if until < self.now:
             raise ValueError(f"cannot run backwards to t={until} from t={self.now}")
+        if self._wheel_on:
+            self._run_wheel(until)
+            return
         watchdog = self._watchdog
         event_budget = (
             self._events_processed + watchdog.max_events
@@ -442,6 +745,7 @@ class Simulator:
         # exact (time, seq) order.
         heap = self._heap
         streams = self._streams
+        pool = self._pool
         heappop = heapq.heappop
         # repro: allow[DET] hot-loop local for the watchdog's wall-time check only
         monotonic = time.monotonic
@@ -479,8 +783,233 @@ class Simulator:
                     fn = ev.fn
                     self.now = t
                     fn(*ev.args)
+                    if ev.recycle:
+                        ev.fn = _nop
+                        ev.args = ()
+                        if len(pool) < _POOL_MAX:
+                            pool.append(ev)
                 else:
                     break
+                processed += 1
+                if event_budget is not None and processed >= event_budget:
+                    raise WatchdogExceeded(
+                        f"event budget of {watchdog.max_events} events exhausted "
+                        f"before reaching t={until}",
+                        sim_time=self.now,
+                        component="Simulator",
+                        context={"events_processed": processed},
+                    )
+                if (
+                    wall_limit is not None
+                    and processed % stride == 0
+                    and monotonic() - wall_start > wall_limit
+                ):
+                    raise WatchdogExceeded(
+                        f"wall-clock budget of {wall_limit}s exhausted "
+                        f"before reaching t={until}",
+                        sim_time=self.now,
+                        component="Simulator",
+                        context={"wall_seconds": monotonic() - wall_start},
+                    )
+            self.now = until
+        except SimulationError as exc:
+            # Already structured (watchdog, invariant checker, nested
+            # engine, ...); just fill in the virtual time if the raiser
+            # could not.  self.now is preferred over the event's own time:
+            # a batching callback may have advanced the clock past it.
+            if exc.sim_time is None and fn is not None:
+                exc.sim_time = self.now
+            raise
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            name = getattr(fn, "__qualname__", None) or getattr(
+                fn, "__name__", repr(fn)
+            )
+            raise CallbackError(
+                f"event callback {name!r} raised {type(exc).__name__}: {exc}",
+                sim_time=self.now,
+                callback=name,
+                component="Simulator",
+            ) from exc
+        finally:
+            self._events_processed = processed
+            self._running = False
+            self._horizon = None
+
+    def _run_wheel(self, until: float) -> None:
+        """The wheel-backend run loop; same contract as :meth:`run`.
+
+        Per event: scan to the first live wheel entry (cached hint, at
+        most one 256-slot sweep), clean the overflow head, three-way
+        merge wheel/overflow/stream heads by ``(time, seq)``, dispatch,
+        recycle pooled events.  The scan is inlined — the engine spends
+        essentially the whole simulation here, and with the hint warm the
+        common case is a single non-empty bucket probe.
+        """
+        watchdog = self._watchdog
+        event_budget = (
+            self._events_processed + watchdog.max_events
+            if watchdog is not None and watchdog.max_events is not None
+            else None
+        )
+        wall_limit = watchdog.max_wall_seconds if watchdog is not None else None
+        # repro: allow[DET] watchdog wall-time budget; never feeds simulation state
+        wall_start = time.monotonic() if wall_limit is not None else 0.0
+        self._running = True
+        self._horizon = until
+        wheel = self._wheel
+        overflow = self._overflow
+        streams = self._streams
+        pool = self._pool
+        epoch = self._epoch
+        heappop = heapq.heappop
+        # repro: allow[DET] hot-loop local for the watchdog's wall-time check only
+        monotonic = time.monotonic
+        stride = Watchdog.WALL_CHECK_STRIDE
+        processed = self._events_processed
+        fn: Optional[Callable[..., Any]] = None
+        try:
+            while True:
+                # -- earliest live wheel entry (inlined _find_bucket) --
+                bucket: Optional[List[_WheelEntry]] = None
+                a = 0
+                if self._wheel_count:
+                    base = int((self.now - epoch) * _INV_WIDTH)
+                    a = self._hint
+                    if a < base:
+                        a = base
+                    stop = a + _WHEEL_SLOTS
+                    count = self._wheel_count
+                    while a < stop:
+                        b = wheel[a & _WHEEL_MASK]
+                        while b:
+                            if b[0][2].cancelled:
+                                heappop(b)
+                                count -= 1
+                                if self._cancelled_pending > 0:
+                                    self._cancelled_pending -= 1
+                            else:
+                                bucket = b
+                                break
+                        if bucket is not None:
+                            break
+                        a += 1
+                    self._wheel_count = count
+                    self._hint = a
+                # -- three-way (time, seq) merge -----------------------
+                # The overflow head may be lazily cancelled; it is only
+                # discarded when it reaches the winner position (below),
+                # so dead far-future timers accumulate and trip the
+                # auto-compactor instead of being drained one per event.
+                src = 0
+                t = 0.0
+                s = 0
+                if bucket is not None:
+                    head = bucket[0]
+                    t = head[0]
+                    s = head[1]
+                    src = 1
+                if overflow:
+                    entry = overflow[0]
+                    if src == 0 or entry[0] < t or (entry[0] == t and entry[1] < s):
+                        t = entry[0]
+                        s = entry[1]
+                        src = 2
+                if streams:
+                    sentry = streams[0]
+                    if src == 0 or sentry[0] < t or (sentry[0] == t and sentry[1] < s):
+                        t = sentry[0]
+                        src = 3
+                if src == 0:
+                    break
+                if src == 2 and overflow[0][2].cancelled:
+                    heappop(overflow)
+                    if self._cancelled_pending > 0:
+                        self._cancelled_pending -= 1
+                    continue
+                if t > until:
+                    # The merge winner is the global minimum, so nothing
+                    # can fire before the horizon — the run is done.
+                    break
+                if src == 1:
+                    # Bucket-drain fast path: every entry in this bucket
+                    # sorts before every entry of any later bucket (the
+                    # slot partitions time), so consecutive pops need no
+                    # rescan — only ``until`` and the overflow/stream
+                    # heads (which callbacks may refill) can preempt,
+                    # checked per pop.  This amortises the scan + merge
+                    # over the bucket's whole occupancy, which is where
+                    # the wheel beats per-event heap maintenance.
+                    assert bucket is not None
+                    limit = (a + 1) * _WIDTH + epoch
+                    if until < limit:
+                        limit = until
+                    while bucket:
+                        entry = bucket[0]
+                        t = entry[0]
+                        if t > limit:
+                            break
+                        if overflow:
+                            oh = overflow[0]
+                            if oh[0] < t or (oh[0] == t and oh[1] < entry[1]):
+                                break
+                        if streams:
+                            sh = streams[0]
+                            if sh[0] < t or (sh[0] == t and sh[1] < entry[1]):
+                                break
+                        heappop(bucket)
+                        self._wheel_count -= 1
+                        ev = entry[2]
+                        if ev.cancelled:
+                            if self._cancelled_pending > 0:
+                                self._cancelled_pending -= 1
+                            continue
+                        fn = ev.fn
+                        self.now = t
+                        fn(*ev.args)
+                        if ev.recycle:
+                            ev.fn = _nop
+                            ev.args = ()
+                            if len(pool) < _POOL_MAX:
+                                pool.append(ev)
+                        processed += 1
+                        if event_budget is not None and processed >= event_budget:
+                            raise WatchdogExceeded(
+                                f"event budget of {watchdog.max_events} events "
+                                f"exhausted before reaching t={until}",
+                                sim_time=self.now,
+                                component="Simulator",
+                                context={"events_processed": processed},
+                            )
+                        if (
+                            wall_limit is not None
+                            and processed % stride == 0
+                            and monotonic() - wall_start > wall_limit
+                        ):
+                            raise WatchdogExceeded(
+                                f"wall-clock budget of {wall_limit}s exhausted "
+                                f"before reaching t={until}",
+                                sim_time=self.now,
+                                component="Simulator",
+                                context={"wall_seconds": monotonic() - wall_start},
+                            )
+                    continue
+                if src == 3:
+                    sentry = heappop(streams)
+                    fn = sentry[2]
+                    self.now = t
+                    fn(*sentry[3])
+                else:
+                    ev = heappop(overflow)[2]
+                    fn = ev.fn
+                    self.now = t
+                    fn(*ev.args)
+                    if ev.recycle:
+                        ev.fn = _nop
+                        ev.args = ()
+                        if len(pool) < _POOL_MAX:
+                            pool.append(ev)
                 processed += 1
                 if event_budget is not None and processed >= event_budget:
                     raise WatchdogExceeded(
@@ -531,14 +1060,50 @@ class Simulator:
     def step(self) -> bool:
         """Process a single event.  Returns False when nothing is pending.
 
-        Merges the event heap and the stream lane exactly as :meth:`run`
-        does.  No run horizon is in effect, so batchers cannot absorb
-        events inline — each continuation is dispatched one per call.
-        Callback failures receive the same structured wrapping as in
-        :meth:`run`.
+        Merges the lanes exactly as :meth:`run` does.  No run horizon is
+        in effect, so batchers cannot absorb events inline — each
+        continuation is dispatched one per call.  Callback failures
+        receive the same structured wrapping as in :meth:`run`.
         """
-        heap = self._heap
         streams = self._streams
+        if self._wheel_on:
+            bucket = self._find_bucket()
+            self._clean_overflow()
+            overflow = self._overflow
+            src = 0
+            t = 0.0
+            s = 0
+            if bucket:
+                t, s = bucket[0][0], bucket[0][1]
+                src = 1
+            if overflow:
+                entry = overflow[0]
+                if src == 0 or entry[0] < t or (entry[0] == t and entry[1] < s):
+                    t, s = entry[0], entry[1]
+                    src = 2
+            if streams:
+                sentry = streams[0]
+                if src == 0 or sentry[0] < t or (sentry[0] == t and sentry[1] < s):
+                    src = 3
+            if src == 0:
+                return False
+            if src == 3:
+                when, _seq, fn, args = heapq.heappop(streams)
+                self.now = when
+                self._dispatch(fn, args, when)
+            else:
+                if src == 1:
+                    assert bucket is not None
+                    ev = heapq.heappop(bucket)[2]
+                    self._wheel_count -= 1
+                else:
+                    ev = heapq.heappop(overflow)[2]
+                self.now = ev.time
+                self._dispatch(ev.fn, ev.args, ev.time)
+                self._recycle(ev)
+            self._events_processed += 1
+            return True
+        heap = self._heap
         while heap and heap[0].cancelled:
             heapq.heappop(heap)
             if self._cancelled_pending > 0:
@@ -557,9 +1122,18 @@ class Simulator:
             ev = heapq.heappop(heap)
             self.now = ev.time
             self._dispatch(ev.fn, ev.args, ev.time)
+            self._recycle(ev)
             self._events_processed += 1
             return True
         return False
+
+    def _recycle(self, ev: Event) -> None:
+        """Return a pool-managed event to the freelist after dispatch."""
+        if ev.recycle:
+            ev.fn = _nop
+            ev.args = ()
+            if len(self._pool) < _POOL_MAX:
+                self._pool.append(ev)
 
     def _dispatch(self, fn: Callable[..., Any], args: tuple, when: float) -> None:
         """Run one callback, converting failures into structured errors."""
@@ -584,23 +1158,25 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued — heap entries (including
+        """Number of events still queued — lane entries (including
         lazily-cancelled ones) plus pending stream-lane continuations."""
+        if self._wheel_on:
+            return self._wheel_count + len(self._overflow) + len(self._streams)
         return len(self._heap) + len(self._streams)
 
     @property
     def cancelled_pending(self) -> int:
-        """Lazily-cancelled events still sitting in the heap.
+        """Lazily-cancelled events still sitting in the lanes.
 
         An upper bound: events cancelled *after* they fired (or after the
-        heap was already drained of them) are counted until the next
+        lanes were already drained of them) are counted until the next
         compaction resets the tally.
         """
         return self._cancelled_pending
 
     @property
     def compactions(self) -> int:
-        """Number of heap compactions performed so far."""
+        """Number of lane compactions performed so far."""
         return self._compactions
 
     @property
@@ -610,7 +1186,7 @@ class Simulator:
 
     @property
     def events_batched(self) -> int:
-        """Heap events absorbed inline by batching (:meth:`advance_to`).
+        """Events absorbed inline by batching (:meth:`advance_to`).
 
         ``events_processed + events_batched`` is the workload's *logical*
         event count — what an unbatched run would have dispatched.
@@ -623,7 +1199,10 @@ class Simulator:
         return self._batch_breaks
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Simulator t={self.now:.6f} pending={len(self._heap)}>"
+        return (
+            f"<Simulator t={self.now:.6f} scheduler={self.scheduler} "
+            f"pending={self.pending_events}>"
+        )
 
 
 class PeriodicTimer:

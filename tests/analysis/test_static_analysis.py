@@ -38,8 +38,8 @@ def _rules_hit(findings):
 # Registry / framework basics
 # ----------------------------------------------------------------------
 class TestFramework:
-    def test_all_five_rules_registered(self):
-        assert {"DET", "ORD", "PROB", "SCHED", "PICKLE"} <= set(RULES)
+    def test_all_builtin_rules_registered(self):
+        assert {"DET", "ORD", "PROB", "SCHED", "PICKLE", "FLOAT"} <= set(RULES)
 
     def test_rules_have_descriptions_and_severity(self):
         for rule in RULES.values():
@@ -188,6 +188,66 @@ class TestProbRule:
     def test_quiet_on_compliant(self, snippet):
         findings, _ = _check(snippet, package="aqm", rules=["PROB"])
         assert findings == []
+
+
+# ----------------------------------------------------------------------
+# FLOAT — order-stable float accumulation
+# ----------------------------------------------------------------------
+class TestFloatRule:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "def f(values):\n    total = 0.0\n"
+            "    for v in set(values):\n        total += v\n    return total\n",
+            "def f(values):\n    total = 0.0\n"
+            "    for v in {1.0, 2.0}:\n        total += v\n    return total\n",
+            "def f(values):\n    total = 0.0\n"
+            "    for v in frozenset(values):\n"
+            "        total = total + v\n    return total\n",
+            "import os\n\ndef f(d):\n    total = 0.0\n"
+            "    for name in os.listdir(d):\n"
+            "        total += float(name)\n    return total\n",
+            "def f(xs, ys):\n    total = 0.0\n"
+            "    for v in {x for x in xs}:\n        total += v\n    return total\n",
+        ],
+    )
+    def test_fires(self, snippet):
+        findings, _ = _check(snippet, package="metrics", rules=["FLOAT"])
+        assert _rules_hit(findings) == {"FLOAT"}, snippet
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # The sanctioned fix: a sorted sequence fixes the order.
+            "def f(values):\n    total = 0.0\n"
+            "    for v in sorted(set(values)):\n        total += v\n"
+            "    return total\n",
+            # Lists/tuples/ranges iterate in a reproducible order.
+            "def f(values):\n    total = 0.0\n"
+            "    for v in values:\n        total += v\n    return total\n",
+            "def f():\n    total = 0.0\n"
+            "    for v in range(10):\n        total += v\n    return total\n",
+            # Unordered iteration without accumulation is ORD's concern.
+            "def f(values):\n    out = []\n"
+            "    for v in set(values):\n        out.append(v)\n    return out\n",
+            # sum()/fsum over an explicit sort are the recommended forms.
+            "import math\n\ndef f(values):\n"
+            "    return math.fsum(sorted(values))\n",
+        ],
+    )
+    def test_quiet_on_compliant(self, snippet):
+        findings, _ = _check(snippet, package="metrics", rules=["FLOAT"])
+        assert findings == []
+
+    def test_scoped_to_float_sensitive_packages(self):
+        text = (
+            "def f(values):\n    total = 0.0\n"
+            "    for v in set(values):\n        total += v\n    return total\n"
+        )
+        findings, _ = _check(text, package="harness", rules=["FLOAT"])
+        assert findings == []
+        findings, _ = _check(text, package="sim", rules=["FLOAT"])
+        assert _rules_hit(findings) == {"FLOAT"}
 
 
 # ----------------------------------------------------------------------

@@ -268,3 +268,150 @@ class TestCorruptionHardening:
                     out=out) == 1
         assert "pruned 1 corrupt entry" in out.getvalue()
         assert not bad.exists()
+
+
+def _shared_flight_worker(payload):
+    """Module-level (picklable) worker for the fork-pool single-flight test."""
+    import time as _time
+
+    from repro.harness.cache import SharedResultCache
+
+    root, key = payload
+    cache = SharedResultCache(root)
+
+    def compute():
+        _time.sleep(0.2)  # widen the race window: everyone piles on the lock
+        return freeze_result(run_experiment(_quick_experiment(duration=1.5)))
+
+    result = cache.fetch_or_compute(key, compute)
+    return result.digest_hex()
+
+
+class TestSharedSingleFlight:
+    """Cross-process single-flight: compute once, share, never deadlock."""
+
+    def _cache(self, tmp_path):
+        from repro.harness.cache import SharedResultCache
+
+        cache = SharedResultCache(tmp_path)
+        cache.LOCK_POLL_INTERVAL = 0.01
+        cache.LOCK_TIMEOUT = 10.0
+        return cache
+
+    def _frozen(self):
+        return freeze_result(run_experiment(_quick_experiment(duration=1.5)))
+
+    def test_computes_once_then_serves_from_disk(self, tmp_path):
+        cache = self._cache(tmp_path)
+        key = "ab" + "0" * 62
+        frozen = self._frozen()
+        assert cache.fetch_or_compute(key, lambda: frozen) is frozen
+        assert cache.stats.computes == 1
+
+        def boom():
+            raise AssertionError("cached entry must not be recomputed")
+
+        again = cache.fetch_or_compute(key, boom)
+        assert again.digest() == frozen.digest()
+        assert cache.stats.computes == 1
+        assert cache.event_counts() == {"compute": 1, "wait": 0}
+
+    def test_failed_compute_is_not_cached(self, tmp_path):
+        cache = self._cache(tmp_path)
+        key = "cd" + "0" * 62
+        assert cache.fetch_or_compute(key, lambda: None) is None
+        assert cache.get(key) is None  # failure never published
+        frozen = self._frozen()
+        assert cache.fetch_or_compute(key, lambda: frozen) is frozen
+        assert cache.stats.computes == 2
+
+    def test_waiter_shares_the_winners_entry(self, tmp_path):
+        """While another holder owns the key's lock, fetch_or_compute
+        must wait for the published entry instead of simulating."""
+        import fcntl
+        import os
+        import threading
+
+        cache = self._cache(tmp_path)
+        key = "ef" + "0" * 62
+        frozen = self._frozen()
+        lock_path = cache._lock_path(key)
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(lock_path, os.O_WRONLY | os.O_CREAT)
+        fcntl.flock(fd, fcntl.LOCK_EX)  # pose as the winning process
+        got = []
+
+        def boom():
+            raise AssertionError("waiter must not compute a published entry")
+
+        waiter = threading.Thread(
+            target=lambda: got.append(cache.fetch_or_compute(key, boom))
+        )
+        waiter.start()
+        try:
+            import time
+
+            time.sleep(0.05)
+            cache.put(key, frozen)  # the "winner" publishes
+            waiter.join(timeout=5.0)
+        finally:
+            os.close(fd)
+        assert not waiter.is_alive()
+        assert got and got[0].digest() == frozen.digest()
+        assert cache.stats.waits == 1
+        assert cache.stats.computes == 0
+
+    def test_waiter_inherits_lock_from_dead_winner(self, tmp_path):
+        """A winner that dies without publishing must not strand the
+        waiters: the flock dies with its fd and the next poll wins it."""
+        import fcntl
+        import os
+        import threading
+        import time
+
+        cache = self._cache(tmp_path)
+        key = "12" + "0" * 62
+        frozen = self._frozen()
+        lock_path = cache._lock_path(key)
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(lock_path, os.O_WRONLY | os.O_CREAT)
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        got = []
+        waiter = threading.Thread(
+            target=lambda: got.append(cache.fetch_or_compute(key, lambda: frozen))
+        )
+        waiter.start()
+        time.sleep(0.05)
+        os.close(fd)  # winner crashes: lock released, nothing published
+        waiter.join(timeout=5.0)
+        assert not waiter.is_alive()
+        assert got and got[0] is frozen
+        assert cache.stats.computes == 1
+        assert cache.stats.waits == 1
+
+    def test_event_log_aggregates_and_clears(self, tmp_path):
+        cache = self._cache(tmp_path)
+        frozen = self._frozen()
+        cache.fetch_or_compute("a1" + "0" * 62, lambda: frozen)
+        cache.fetch_or_compute("b2" + "0" * 62, lambda: frozen)
+        assert cache.event_counts() == {"compute": 2, "wait": 0}
+        cache.clear_events()
+        assert cache.event_counts() == {"compute": 0, "wait": 0}
+
+    def test_four_processes_compute_once(self, tmp_path):
+        """The real thing: a fork pool racing on one key computes it
+        exactly once fleet-wide and every process gets the same bits."""
+        import multiprocessing
+
+        from repro.harness.cache import SharedResultCache
+
+        key = "fe" + "0" * 62
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=4) as pool:
+            digests = pool.map(
+                _shared_flight_worker, [(str(tmp_path), key)] * 4
+            )
+        assert len(set(digests)) == 1
+        counts = SharedResultCache(tmp_path).event_counts()
+        assert counts["compute"] == 1
+        assert counts["wait"] == 3

@@ -4,7 +4,7 @@
 Two phases, one exit code:
 
 1. **Domain rules** — run the :mod:`repro.analysis.static` rules
-   (DET/ORD/PROB/SCHED/PICKLE) over ``src/repro``; any unsuppressed
+   (DET/ORD/PROB/SCHED/PICKLE/FLOAT) over ``src/repro``; any unsuppressed
    finding fails the build.
 2. **Typing** — run mypy over ``src/repro`` using the ``[tool.mypy]``
    configuration in ``pyproject.toml`` (strict-level flags for
