@@ -1,6 +1,6 @@
 """Rule catalogue: importing this package registers every built-in rule.
 
-The six domain rules guard the properties the repository's
+The seven domain rules guard the properties the repository's
 reproducibility story depends on — see docs/STATIC_ANALYSIS.md for the
 full catalogue and docs on adding a rule:
 
@@ -13,11 +13,14 @@ FLOAT     no running float additions over unordered iterables in
 PROB      probability writes/returns in aqm/core clamp-dominated
 SCHED     scheduling time arguments derived from virtual time
 PICKLE    process-pool task-spec seam stays picklable
+OBS       tracers are write-only observers: no consumed tracer call
+          results, no tracer expressions in scheduling arguments
 ========  ==============================================================
 """
 
 from repro.analysis.static.rules.det import DeterminismRule
 from repro.analysis.static.rules.floats import FloatAccumulationRule
+from repro.analysis.static.rules.obs import ObservabilityRule
 from repro.analysis.static.rules.ordering import OrderingRule
 from repro.analysis.static.rules.pickling import PicklabilityRule
 from repro.analysis.static.rules.prob import ProbabilityDomainRule
@@ -26,6 +29,7 @@ from repro.analysis.static.rules.sched import SchedulingRule
 __all__ = [
     "DeterminismRule",
     "FloatAccumulationRule",
+    "ObservabilityRule",
     "OrderingRule",
     "PicklabilityRule",
     "ProbabilityDomainRule",

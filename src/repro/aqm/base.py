@@ -226,3 +226,41 @@ class AQM:
         """Internal controller variable (``p'`` for PI2); defaults to
         :attr:`probability` for single-stage algorithms."""
         return self.probability
+
+    def register_metrics(self, registry: object) -> None:
+        """Register the AQM's counters under the ``aqm.`` prefix.
+
+        ``registry`` is a :class:`repro.obs.metrics.MetricsRegistry`
+        (duck-typed; the AQM layer never imports the observability
+        layer).  The provider is evaluated at snapshot time, so the
+        exported values are end-of-run state.
+        """
+        registry.register_provider("aqm", self._metrics_snapshot)  # type: ignore[attr-defined]
+
+    def _metrics_snapshot(self) -> dict:
+        """Flat metric values: decision counters plus probabilities.
+
+        PI-family subclasses contribute their controller state through
+        ``PIController.state()`` when a ``controller`` attribute is
+        present; coupled AQMs additionally expose their Classic-branch
+        probability.
+        """
+        stats = self.stats
+        out: dict = {
+            "kind": type(self).__name__,
+            "decisions": stats.decisions,
+            "passed": stats.passed,
+            "marked": stats.marked,
+            "dropped": stats.dropped,
+            "signal_fraction": stats.signal_fraction,
+            "probability": self.probability,
+            "raw_probability": self.raw_probability,
+        }
+        controller = getattr(self, "controller", None)
+        if controller is not None and hasattr(controller, "state"):
+            for key, value in controller.state().items():
+                out[f"controller.{key}"] = value
+        classic = getattr(self, "classic_probability", None)
+        if classic is not None:
+            out["classic_probability"] = classic
+        return out

@@ -110,6 +110,22 @@ class PIController:
         self.p = 0.0
         self.prev_delay = 0.0
 
+    def state(self) -> dict:
+        """Read-only snapshot of the controller for telemetry export.
+
+        Feeds the ``aqm.controller.*`` metrics and the tracer's
+        ``aqm_update`` fields; reading it never perturbs the difference
+        equation.
+        """
+        return {
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "target": self.target,
+            "p_max": self.p_max,
+            "p": self.p,
+            "prev_delay": self.prev_delay,
+        }
+
 
 class PiAqm(AQM):
     """Plain PI AQM applying its output probability directly.

@@ -21,6 +21,11 @@ Bode margins at an operating point (Appendix B)::
 Fluid-model trajectory (Appendix B, time domain)::
 
     python -m repro fluid --flows 5 --link 10 --rtt 100
+
+Record a telemetry trace of a run and summarize it afterwards::
+
+    python -m repro run --scenario light --aqm pi2 --trace /tmp/run.jsonl
+    python -m repro trace summarize /tmp/run.jsonl
 """
 
 from __future__ import annotations
@@ -107,6 +112,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scheduler", choices=["heap", "wheel"], default="wheel",
                      help="event-core backend (results are bit-exact either "
                           "way; heap is the reference for A/B checks)")
+    _add_trace_options(run)
 
     co = sub.add_parser("coexist", help="DCTCP vs Cubic at one grid point")
     co.add_argument("--aqm", choices=sorted(FACTORIES), default="coupled")
@@ -157,6 +163,7 @@ def _build_parser() -> argparse.ArgumentParser:
                            "either way; CI diffs the printed grid digest "
                            "between the two)")
     _add_perf_options(grid)
+    _add_trace_options(grid)
 
     bode = sub.add_parser("bode", help="gain/phase margins at an operating point")
     bode.add_argument("--kind", choices=sorted(BODE_KINDS), default="reno_pi2")
@@ -172,6 +179,22 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="duration multiplier (1 = quick defaults)")
     figure.add_argument("--csv", metavar="PATH", help="also write rows as CSV")
     _add_perf_options(figure)
+    _add_trace_options(figure)
+
+    trace = sub.add_parser(
+        "trace",
+        help="work with JSONL telemetry traces recorded via --trace",
+    )
+    trace.add_argument("action", choices=["summarize"],
+                       help="summarize: per-category event counts, control-"
+                            "loop convergence, engine lane stats, span "
+                            "durations")
+    trace.add_argument("path", help="trace file written by --trace")
+    trace.add_argument("--json", action="store_true",
+                       help="emit the summary as JSON instead of a report")
+    trace.add_argument("--rows", type=int, default=12, metavar="N",
+                       help="time-series rows in the human report "
+                            "(default: 12)")
 
     bench = sub.add_parser(
         "bench",
@@ -191,7 +214,7 @@ def _build_parser() -> argparse.ArgumentParser:
     check = sub.add_parser(
         "check",
         help="run the domain static-analysis rules "
-             "(DET/ORD/PROB/SCHED/PICKLE/FLOAT)",
+             "(DET/ORD/PROB/SCHED/PICKLE/FLOAT/OBS)",
     )
     check.add_argument("paths", nargs="*", metavar="PATH",
                        help="files or directories to check "
@@ -236,6 +259,44 @@ def _add_perf_options(parser) -> None:
                         help="disable the on-disk result cache")
 
 
+def _add_trace_options(parser) -> None:
+    """--trace / --trace-filter, shared by the simulation commands."""
+    parser.add_argument("--trace", metavar="PATH",
+                        help="record typed telemetry events (AQM control law, "
+                             "engine epochs, harness spans) to a JSONL file; "
+                             "results are bit-exact with tracing on or off")
+    parser.add_argument("--trace-filter", metavar="CATS",
+                        default="aqm,engine,harness",
+                        help="comma-separated event categories to record "
+                             "(default: aqm,engine,harness)")
+
+
+def _make_tracer(args):
+    """Build the JSONL tracer an argparse namespace asks for (or None)."""
+    from repro.errors import ConfigError
+    from repro.obs import JsonlTracer
+
+    if getattr(args, "trace", None) is None:
+        return None
+    categories = [c for c in args.trace_filter.split(",") if c.strip()]
+    try:
+        return JsonlTracer(args.trace, categories=categories)
+    except (ValueError, OSError) as exc:
+        raise ConfigError(str(exc)) from exc
+
+
+def _close_tracer(tracer, out) -> None:
+    """Flush the tracer and print a one-line recording summary."""
+    if tracer is None:
+        return
+    tracer.close()
+    counts = ", ".join(
+        f"{cat}={n}" for cat, n in sorted(tracer.counts.items()) if n
+    )
+    print(f"trace: {tracer.total_events} events ({counts or 'none'}) "
+          f"-> {tracer.path}", file=out)
+
+
 def _make_cache(args):
     """Build the result cache an argparse namespace asks for (or None).
 
@@ -266,7 +327,12 @@ def _cmd_figure(args, out) -> int:
     from repro.harness.figures import generate_figure
 
     cache = _make_cache(args)
-    data = generate_figure(args.name, scale=args.scale, jobs=args.jobs, cache=cache)
+    tracer = _make_tracer(args)
+    if cache is not None and tracer is not None:
+        cache.set_tracer(tracer)
+    data = generate_figure(args.name, scale=args.scale, jobs=args.jobs,
+                           cache=cache, tracer=tracer)
+    _close_tracer(tracer, out)
     print(data.table(), file=out)
     if cache is not None and (cache.stats.hits or cache.stats.stores):
         print(f"cache: {cache.stats} ({cache.root})", file=out)
@@ -303,6 +369,7 @@ def _cmd_bench(args, out) -> int:
         or b.get("matches_unbatched") is False
         or b.get("matches_resume") is False
         or b.get("matches_heap") is False
+        or b.get("matches_untraced") is False
     ]
     if mismatches:
         print(f"DETERMINISM REGRESSION in: {', '.join(mismatches)}", file=out)
@@ -323,6 +390,33 @@ def _cmd_bench(args, out) -> int:
         print(f"JOURNAL OVERHEAD REGRESSION in: {', '.join(slow_journal)}",
               file=out)
         return 1
+    slow_tracing = [
+        b["name"] for b in payload["benchmarks"]
+        if b.get("tracing_overhead_ok") is False
+    ]
+    if slow_tracing:
+        print(f"TRACING OVERHEAD REGRESSION in: {', '.join(slow_tracing)}",
+              file=out)
+        return 1
+    return 0
+
+
+def _cmd_trace(args, out) -> int:
+    from repro.obs import format_trace_summary, summarize_trace
+
+    try:
+        summary = summarize_trace(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    if args.json:
+        import json
+
+        # The series arrays are the bulk of the payload; keep them — the
+        # JSON form exists precisely for plotting p'/delay time-series.
+        print(json.dumps(summary, indent=2, sort_keys=True), file=out)
+    else:
+        print(format_trace_summary(summary, max_rows=args.rows), file=out)
     return 0
 
 
@@ -380,6 +474,9 @@ def _cmd_grid(args, out) -> int:
             max_retries=args.max_retries,
         )
     cache = _make_cache(args)
+    tracer = _make_tracer(args)
+    if cache is not None and tracer is not None:
+        cache.set_tracer(tracer)
     outcome = run_coexistence_grid(
         FACTORIES[args.aqm](),
         cc_a=args.cc_a,
@@ -398,7 +495,9 @@ def _cmd_grid(args, out) -> int:
         journal=args.journal,
         resume=args.resume,
         scheduler=args.scheduler,
+        tracer=tracer,
     )
+    _close_tracer(tracer, out)
     rows = [
         (
             cell.link_mbps,
@@ -458,7 +557,9 @@ def _cmd_run(args, out) -> int:
         exp = replace(exp, link_batching=False)
     if args.scheduler != exp.scheduler:
         exp = replace(exp, scheduler=args.scheduler)
-    result = run_experiment(exp)
+    tracer = _make_tracer(args)
+    result = run_experiment(exp, tracer=tracer)
+    _close_tracer(tracer, out)
     delay = result.sojourn_summary(percentiles=(99,))
     rows = [
         ("queue delay mean [ms]", delay["mean"] * 1e3),
@@ -600,4 +701,6 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_bode(args, out)
     if args.command == "fluid":
         return _cmd_fluid(args, out)
+    if args.command == "trace":
+        return _cmd_trace(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -170,6 +170,26 @@ class ResultCache:
     def __init__(self, root: os.PathLike | str = DEFAULT_CACHE_DIR):
         self.root = Path(root).expanduser()
         self.stats = CacheStats()
+        #: Optional span sink (:class:`~repro.obs.trace.Tracer`); the
+        #: cache only emits into it (``cache_wait`` spans), never reads.
+        self._tracer = None
+
+    def set_tracer(self, tracer) -> None:
+        """Attach a tracer for ``harness`` spans (None detaches)."""
+        self._tracer = tracer
+
+    def register_metrics(self, registry) -> None:
+        """Register the cache's counters under the ``cache.`` prefix.
+
+        ``registry`` is a :class:`repro.obs.metrics.MetricsRegistry`;
+        the provider reports this instance's end-of-run stats (plus the
+        single-flight tallies for :class:`SharedResultCache`).
+        """
+        registry.register_provider("cache", self._metrics_snapshot)
+
+    def _metrics_snapshot(self) -> Dict[str, int]:
+        """Flat metric values straight off the stats dataclass."""
+        return {name: int(value) for name, value in vars(self.stats).items()}
 
     # -- keying ----------------------------------------------------------
     def key_for(self, experiment: Experiment) -> Optional[str]:
@@ -440,14 +460,27 @@ class SharedResultCache(ResultCache):
     def _wait_for(
         self, key: str, fd: int, compute: Callable[[], Optional[FrozenResult]]
     ) -> Optional[FrozenResult]:
-        """Poll for the winner's entry; inherit the lock if it dies."""
+        """Poll for the winner's entry; inherit the lock if it dies.
+
+        When a tracer is attached (:meth:`ResultCache.set_tracer`) the
+        wait is reported as one ``cache_wait`` harness span carrying the
+        polled wall-clock ``seconds`` and whether the entry was shared
+        (``ok=True``) or this process inherited the computation.
+        """
         self.stats.waits += 1
         self._log_event("wait", key)
-        deadline = time.monotonic() + self.LOCK_TIMEOUT
+        started = time.monotonic()
+        deadline = started + self.LOCK_TIMEOUT
         while time.monotonic() < deadline:
             time.sleep(self.LOCK_POLL_INTERVAL)
             result = self._load(key)
             if result is not None:
+                if self._tracer is not None:
+                    self._tracer.emit("harness", "cache_wait", 0.0, {
+                        "key": key[:12],
+                        "ok": True,
+                        "seconds": time.monotonic() - started,
+                    })
                 return result
             try:
                 fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
@@ -458,6 +491,12 @@ class SharedResultCache(ResultCache):
             result = self._load(key)
             if result is not None:
                 return result
+            if self._tracer is not None:
+                self._tracer.emit("harness", "cache_wait", 0.0, {
+                    "key": key[:12],
+                    "ok": False,
+                    "seconds": time.monotonic() - started,
+                })
             self.stats.computes += 1
             self._log_event("compute", key)
             result = compute()

@@ -31,6 +31,8 @@ from repro.errors import ConfigError
 from repro.harness.topology import Dumbbell
 from repro.metrics.stats import percentile_summary, rate_balance_ratio
 from repro.net.faults import Fault
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import engine_tracer, install_aqm_tracer
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
 
@@ -283,6 +285,11 @@ class ExperimentResult(ResultMetrics):
         self.bed = bed
         self.duration = experiment.duration
         self.warmup = experiment.warmup
+        #: Flat end-of-run metric snapshot (``engine.*``, ``aqm.*``,
+        #: ``link.*``); populated by :func:`run_experiment`, carried into
+        #: :class:`~repro.harness.frozen.FrozenResult`, and deliberately
+        #: excluded from :meth:`ResultMetrics.digest`.
+        self.telemetry: Optional[Dict[str, object]] = None
 
     # -- series ----------------------------------------------------------
     @property
@@ -350,17 +357,38 @@ class ExperimentResult(ResultMetrics):
         return freeze_result(self)
 
 
-def run_experiment(experiment: Experiment) -> ExperimentResult:
+def run_experiment(
+    experiment: Experiment, tracer: Optional[object] = None
+) -> ExperimentResult:
     """Build the dumbbell, run to ``duration``, and collect results.
 
     Fault schedules, the invariant checker and the run watchdog are all
     wired here from the experiment's declarative fields; a failing run
     raises a structured :class:`~repro.errors.SimulationError` carrying
     virtual-time and component context.
+
+    ``tracer`` is an optional :class:`~repro.obs.trace.Tracer`.  It is a
+    pure observer: the AQM's control-law hooks and the engine's dispatch
+    loop emit typed events into it, but results are bit-exact
+    (``digest()``-equal) with tracing on or off.  Independent of the
+    tracer, every run registers its components into a
+    :class:`~repro.obs.metrics.MetricsRegistry` whose snapshot lands on
+    ``result.telemetry``.
     """
     sim = Simulator(scheduler=experiment.scheduler)
     streams = RandomStreams(experiment.seed)
     aqm = experiment.aqm_factory(streams.stream("aqm"))
+    # Instrumentation must precede Dumbbell construction: attaching the
+    # AQM binds ``aqm.update`` into its periodic timer, so the traced
+    # wrapper has to be installed first to be the bound target.
+    install_aqm_tracer(aqm, tracer)
+    sim.set_tracer(engine_tracer(tracer))
+    registry = MetricsRegistry()
+    registry.set("scheduler", experiment.scheduler)
+    registry.set("seed", experiment.seed)
+    sim.register_metrics(registry)
+    if aqm is not None:
+        aqm.register_metrics(registry)
     bed = Dumbbell(
         sim,
         streams,
@@ -399,8 +427,12 @@ def run_experiment(experiment: Experiment) -> ExperimentResult:
             max_wall_seconds=experiment.max_wall_seconds,
         )
 
+    bed.link.register_metrics(registry)
+
     sim.call_at(experiment.warmup, bed.flows.open_windows, experiment.warmup)
     sim.run(until=experiment.duration)
     if bed.invariant_checker is not None:
         bed.invariant_checker.check_now()
-    return ExperimentResult(experiment, bed)
+    result = ExperimentResult(experiment, bed)
+    result.telemetry = registry.snapshot()
+    return result

@@ -71,24 +71,26 @@ def _gm(m):
     return float("nan") if m.gain_margin_db is None else m.gain_margin_db
 
 
-def _run_one(exp, cache=None):
+def _run_one(exp, cache=None, tracer=None):
     """Run a single figure experiment, optionally through the result cache.
 
     With a cache the run is routed through the sweep executor so the
     figure's cells are stored/reused exactly like grid cells (and the
-    returned object is a frozen result — same metric API).
+    returned object is a frozen result — same metric API).  ``tracer``
+    observes the run (AQM/engine events plus harness spans) without
+    changing its result.
     """
     if cache is None:
-        return run_experiment(exp)
+        return run_experiment(exp, tracer=tracer)
     from repro.harness.parallel import SweepTask, execute_tasks
 
     (result, _failure), = execute_tasks(
-        [SweepTask("figure run", exp)], jobs=1, cache=cache
+        [SweepTask("figure run", exp)], jobs=1, cache=cache, tracer=tracer
     )
     return result
 
 
-def fig04(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
+def fig04(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
     """Bode gain margins for PI on Reno: auto vs fixed tunes."""
     rows = []
     for p in (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 0.5, 1.0):
@@ -106,7 +108,7 @@ def fig04(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
     )
 
 
-def fig05(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
+def fig05(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
     """PIE's stepped tune factor vs the analytic √(2p)."""
     rows = [(p, t, s) for p, t, s in tune_table_rows(points_per_decade=2)]
     return FigureData(
@@ -115,7 +117,7 @@ def fig05(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
     )
 
 
-def fig07(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
+def fig07(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
     """Bode margins for reno-PIE / reno-PI2 / scal-PI."""
     rows = []
     for pp in (0.001, 0.01, 0.1, 0.3, 0.6, 1.0):
@@ -146,7 +148,7 @@ def _stage_rows(results, stage, flows):
     return rows
 
 
-def fig06(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
+def fig06(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
     """Un-tuned PI vs PI2 under varying intensity at 100 Mb/s, 10 ms."""
     stage = 8.0 * scale
     results = {}
@@ -154,7 +156,7 @@ def fig06(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
         exp = varying_intensity(factory, capacity_bps=100 * MBPS, rtt=0.010,
                                 stage=stage)
         exp.sample_period = 0.1
-        results[name] = _run_one(exp, cache)
+        results[name] = _run_one(exp, cache, tracer)
     return FigureData(
         "Figure 6", ["aqm", "stage", "q mean [ms]", "q peak [ms]"],
         _stage_rows(results, stage, [10, 30, 50, 30, 10]),
@@ -162,7 +164,7 @@ def fig06(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
     )
 
 
-def fig11(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
+def fig11(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
     """Queue delay and throughput under three traffic loads."""
     duration = 30.0 * scale
     rows = []
@@ -171,7 +173,7 @@ def fig11(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
     }
     for label, scenario in scenarios.items():
         for name, factory in (("pie", pie_factory()), ("pi2", pi2_factory())):
-            r = _run_one(scenario(factory, duration=duration), cache)
+            r = _run_one(scenario(factory, duration=duration), cache, tracer)
             soj = r.sojourn_samples()
             rows.append(
                 (label, name, float(np.mean(soj)) * 1e3,
@@ -184,14 +186,14 @@ def fig11(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
     )
 
 
-def fig12(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
+def fig12(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
     """Queue delay through capacity steps 100:20:100 Mb/s."""
     stage = 15.0 * scale
     rows = []
     for name, factory in (("pie", pie_factory()), ("pi2", pi2_factory())):
         exp = varying_capacity(factory, stage=stage)
         exp.sample_period = 0.1
-        r = _run_one(exp, cache)
+        r = _run_one(exp, cache, tracer)
         rows.append(
             (name,
              r.queue_delay.max(stage, stage + 5.0) * 1e3,
@@ -204,7 +206,7 @@ def fig12(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
     )
 
 
-def fig13(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
+def fig13(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
     """Varying intensity at 10 Mb/s, 100 ms RTT: PIE vs PI2."""
     stage = 12.0 * scale
     results = {}
@@ -212,7 +214,7 @@ def fig13(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
         exp = varying_intensity(factory, capacity_bps=10 * MBPS, rtt=0.100,
                                 stage=stage)
         exp.sample_period = 0.1
-        results[name] = _run_one(exp, cache)
+        results[name] = _run_one(exp, cache, tracer)
     return FigureData(
         "Figure 13", ["aqm", "stage", "q mean [ms]", "q peak [ms]"],
         _stage_rows(results, stage, [10, 30, 50, 30, 10]),
@@ -220,7 +222,7 @@ def fig13(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
     )
 
 
-def fig19(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
+def fig19(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
     """Rate balance across flow-count mixes at 40 Mb/s, 10 ms."""
     duration = 25.0 * scale
     mixes = ((1, 1), (1, 9), (5, 5), (9, 1))
@@ -228,7 +230,7 @@ def fig19(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
     for name, factory in (("pie", pie_factory()), ("pi2", coupled_factory())):
         sweeps = run_mix_sweep(factory, mixes=mixes, duration=duration,
                                warmup=min(10.0, duration / 2),
-                               jobs=jobs, cache=cache)
+                               jobs=jobs, cache=cache, tracer=tracer)
         for (n_a, n_b), result in sweeps.items():
             rows.append(
                 (name, f"A{n_a}-B{n_b}", result.balance("dctcp", "cubic"))
@@ -239,7 +241,7 @@ def fig19(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
     )
 
 
-def fig14(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
+def fig14(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
     """Queue-delay distribution summary at 5 ms and 20 ms targets."""
     from repro.harness.experiment import Experiment, FlowGroup
 
@@ -257,7 +259,9 @@ def fig14(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
                     warmup=min(10.0, duration / 3),
                     aqm_factory=make(target),
                     flows=[FlowGroup(cc="reno", count=20, rtt=0.100)],
-                )
+                ),
+                cache,
+                tracer,
             )
             soj = r.sojourn_samples()
             rows.append(
@@ -272,7 +276,7 @@ def fig14(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
     )
 
 
-def fig15(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
+def fig15(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
     """Rate balance on a reduced 3×3 coexistence grid.
 
     The full 5×5 grid with per-cell convergence budgeting lives in the
@@ -286,7 +290,7 @@ def fig15(scale: float = 1.0, jobs=None, cache=None) -> FigureData:
         cells = run_coexistence_grid(
             factory, links_mbps=(4, 40), rtts_ms=(10, 50),
             duration=duration, warmup=min(8.0, duration / 2),
-            jobs=jobs, cache=cache,
+            jobs=jobs, cache=cache, tracer=tracer,
         )
         for cell in cells:
             rows.append(
@@ -316,17 +320,20 @@ FIGURES: Dict[str, Callable[..., FigureData]] = {
 
 
 def generate_figure(
-    name: str, scale: float = 1.0, jobs=None, cache=None
+    name: str, scale: float = 1.0, jobs=None, cache=None, tracer=None
 ) -> FigureData:
     """Generate one figure's data by registry name.
 
     ``jobs`` parallelises grid/mix-based figures over a process pool;
     ``cache`` (a :class:`~repro.harness.cache.ResultCache`) reuses
-    already-simulated runs across invocations.  Figures that are pure
-    analysis (fig04/05/07) ignore both.
+    already-simulated runs across invocations.  ``tracer`` (a
+    :class:`~repro.obs.trace.Tracer`) observes the simulation-backed
+    figures — control-law events, engine epochs, harness spans — and is
+    guaranteed not to change any number in the returned rows.  Figures
+    that are pure analysis (fig04/05/07) ignore all three.
     """
     if name not in FIGURES:
         raise ValueError(f"unknown figure {name!r}; choose from {sorted(FIGURES)}")
     if scale <= 0:
         raise ValueError(f"scale must be positive (got {scale})")
-    return FIGURES[name](scale=scale, jobs=jobs, cache=cache)
+    return FIGURES[name](scale=scale, jobs=jobs, cache=cache, tracer=tracer)

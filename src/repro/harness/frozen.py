@@ -51,6 +51,7 @@ class FrozenResult(ResultMetrics):
         invariant_checks: int,
         experiment: Optional[Experiment] = None,
         events_processed: int = 0,
+        telemetry: Optional[Dict[str, object]] = None,
     ):
         self.duration = duration
         self.warmup = warmup
@@ -69,6 +70,11 @@ class FrozenResult(ResultMetrics):
         #: Engine events the run processed — the perf harness's events/sec
         #: numerator.
         self.events_processed = events_processed
+        #: Flat end-of-run metric snapshot from the run's
+        #: :class:`~repro.obs.metrics.MetricsRegistry` (None for results
+        #: frozen before the observability layer existed, e.g. old cache
+        #: entries — though the code fingerprint keys those out anyway).
+        self.telemetry = telemetry
 
     # -- raw accessors required by ResultMetrics ---------------------------
     def sojourn_samples(self, from_warmup: bool = True) -> np.ndarray:
@@ -119,4 +125,5 @@ def freeze_result(
         invariant_checks=result.invariant_checks,
         experiment=result.experiment if keep_experiment else None,
         events_processed=bed.sim.events_processed,
+        telemetry=getattr(result, "telemetry", None),
     )

@@ -34,6 +34,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -87,7 +88,7 @@ def _start_method() -> str:
     return "fork" if "fork" in methods else methods[0]
 
 
-def _run_payload(payload) -> TaskResult:
+def _run_payload(payload, tracer=None) -> TaskResult:
     """Worker body: simulate one cell, freeze the outcome.
 
     Runs in a pool process (but is equally callable in-process).  Always
@@ -112,25 +113,33 @@ def _run_payload(payload) -> TaskResult:
 
             def compute() -> Optional[FrozenResult]:
                 result, failure = _simulate_payload(
-                    experiment, label, on_error, max_retries
+                    experiment, label, on_error, max_retries, tracer
                 )
                 outcome["failure"] = failure
                 return result
 
             result = cache.fetch_or_compute(key, compute)
             return result, outcome.get("failure")
-    return _simulate_payload(experiment, label, on_error, max_retries)
+    return _simulate_payload(experiment, label, on_error, max_retries, tracer)
 
 
-def _simulate_payload(experiment, label, on_error, max_retries) -> TaskResult:
-    """The uncached worker body shared by both payload routes."""
+def _simulate_payload(
+    experiment, label, on_error, max_retries, tracer=None
+) -> TaskResult:
+    """The uncached worker body shared by both payload routes.
+
+    ``tracer`` only arrives on the in-process (serial) route — a JSONL
+    sink holds an open file handle and cannot cross the pool boundary —
+    and only on the fast path (retry-captured runs are diagnostics, not
+    trace subjects).
+    """
     if on_error == "capture":
         result, failure = run_with_retries(
             experiment, label=label, max_retries=max_retries
         )
         return (freeze_result(result) if result is not None else None, failure)
     try:
-        return freeze_result(run_experiment(experiment)), None
+        return freeze_result(run_experiment(experiment, tracer=tracer)), None
     except (KeyboardInterrupt, SystemExit):
         raise
     except Exception as exc:
@@ -175,6 +184,7 @@ def execute_tasks(
     on_error: str = "raise",
     max_retries: int = 1,
     cache: Optional[ResultCache] = None,
+    tracer: Optional[object] = None,
 ) -> List[TaskResult]:
     """Run every task, in parallel when asked, through the cache when given.
 
@@ -184,12 +194,23 @@ def execute_tasks(
     loop's behaviour) raises :class:`~repro.errors.ParallelExecutionError`
     carrying the worker-side context; with ``"capture"`` failures come
     back as :class:`~repro.harness.resilience.RunFailure` entries.
+
+    ``tracer`` (a :class:`~repro.obs.trace.Tracer`) receives harness
+    lifecycle spans in the parent — ``cache_hit`` per hit, ``task_start``
+    / ``task_done`` per executed task (with per-task ``seconds`` on the
+    in-process route; a pool map reports one aggregate ``pool_map``
+    span instead, since per-task wall time lives in the workers).  On
+    the in-process route the tracer is also threaded into
+    :func:`~repro.harness.experiment.run_experiment` so AQM/engine
+    events are captured; worker processes run untraced (a JSONL sink
+    cannot cross the pool boundary).  Results are bit-exact either way.
     """
     if on_error not in ("raise", "capture"):
         raise ValueError(f"on_error must be 'raise' or 'capture' (got {on_error!r})")
     n_jobs = resolve_jobs(jobs)
     out: List[Optional[TaskResult]] = [None] * len(tasks)
     keys: List[Optional[str]] = [None] * len(tasks)
+    emit = tracer.emit if tracer is not None else None
 
     pending: List[int] = []
     for index, task in enumerate(tasks):
@@ -200,6 +221,8 @@ def execute_tasks(
                 hit = cache.get(key)
                 if hit is not None:
                     out[index] = (hit, None)
+                    if emit is not None:
+                        emit("harness", "cache_hit", 0.0, {"label": task.label})
                     continue
         pending.append(index)
 
@@ -215,11 +238,38 @@ def execute_tasks(
         ]
         if n_jobs > 1 and len(pending) > 1:
             _check_picklable([tasks[i] for i in pending])
+            if emit is not None:
+                for i in pending:
+                    emit("harness", "task_start", 0.0,
+                         {"label": tasks[i].label, "backend": "pool"})
+            started = time.monotonic()
             ctx = multiprocessing.get_context(_start_method())
             with ctx.Pool(processes=min(n_jobs, len(pending))) as pool:
                 fresh = pool.map(_run_payload, payloads, chunksize=1)
+            if emit is not None:
+                emit("harness", "pool_map", 0.0, {
+                    "tasks": len(pending),
+                    "jobs": min(n_jobs, len(pending)),
+                    "seconds": time.monotonic() - started,
+                })
+                for i, (result, _failure) in zip(pending, fresh):
+                    emit("harness", "task_done", 0.0,
+                         {"label": tasks[i].label, "ok": result is not None})
         else:
-            fresh = [_run_payload(payload) for payload in payloads]
+            fresh = []
+            for i, payload in zip(pending, payloads):
+                if emit is not None:
+                    emit("harness", "task_start", 0.0,
+                         {"label": tasks[i].label, "backend": "serial"})
+                started = time.monotonic()
+                task_result = _run_payload(payload, tracer)
+                fresh.append(task_result)
+                if emit is not None:
+                    emit("harness", "task_done", 0.0, {
+                        "label": tasks[i].label,
+                        "ok": task_result[0] is not None,
+                        "seconds": time.monotonic() - started,
+                    })
         for index, task_result in zip(pending, fresh):
             out[index] = task_result
             result, _failure = task_result

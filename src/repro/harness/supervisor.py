@@ -162,6 +162,28 @@ class SupervisorReport:
         """Append one recovery action to the log."""
         self.actions.append(action)
 
+    def register_metrics(self, registry) -> None:
+        """Register the run's counters under the ``supervisor.`` prefix.
+
+        ``registry`` is a :class:`repro.obs.metrics.MetricsRegistry`;
+        the provider is read at snapshot time, so register after (or
+        during) the run and snapshot once it finishes.
+        """
+        registry.register_provider("supervisor", self._metrics_snapshot)
+
+    def _metrics_snapshot(self) -> dict:
+        """Flat metric values mirroring the report's counters."""
+        return {
+            "actions": len(self.actions),
+            "degraded": int(self.degraded),
+            "torn_journal": int(self.torn_journal),
+            "replayed": self.replayed,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "journal_appends": self.journal_appends,
+            "heartbeats": self.heartbeats,
+        }
+
     def format_actions(self) -> str:
         """Human-readable recovery log (see ``format_recovery_report``)."""
         from repro.harness.resilience import format_recovery_report
@@ -301,7 +323,8 @@ class _Worker:
 class _Supervisor:
     """The scheduler: slots, deadlines, retries, journal, degradation."""
 
-    def __init__(self, tasks, jobs, on_error, config, cache, journal, report):
+    def __init__(self, tasks, jobs, on_error, config, cache, journal, report,
+                 tracer=None):
         self.tasks = list(tasks)
         self.n_jobs = resolve_jobs(jobs)
         self.on_error = on_error
@@ -309,6 +332,10 @@ class _Supervisor:
         self.cache = cache
         self.journal = journal
         self.report = report
+        #: Fire-and-forget span sink (None = tracing off).  The
+        #: supervisor only ever *emits* into it; no tracer output feeds
+        #: scheduling decisions (the OBS static-analysis contract).
+        self.emit = tracer.emit if tracer is not None else None
         self.out: List[Optional[TaskResult]] = [None] * len(self.tasks)
         self.keys: List[Optional[str]] = [None] * len(self.tasks)
         self.queue: List[_TaskState] = []
@@ -340,6 +367,9 @@ class _Supervisor:
                 if hit is not None:
                     self.out[index] = (hit, None)
                     self.report.cache_hits += 1
+                    if self.emit is not None:
+                        self.emit("harness", "cache_hit", 0.0,
+                                  {"label": task.label})
                     self._journal_append(index, hit)
                     continue
             self.queue.append(_TaskState(index, task))
@@ -349,12 +379,25 @@ class _Supervisor:
         key = self.keys[index]
         if self.journal is None or key is None:
             return
+        started = time.monotonic()
         self.journal.append(key, self.tasks[index].label, result)
         self.report.journal_appends += 1
+        if self.emit is not None:
+            self.emit("harness", "journal_append", 0.0, {
+                "label": self.tasks[index].label,
+                "seconds": time.monotonic() - started,
+            })
 
     def _finish_success(self, state: _TaskState, result) -> None:
         self.out[state.index] = (result, None)
         self.report.executed += 1
+        if self.emit is not None:
+            self.emit("harness", "task_done", 0.0, {
+                "label": state.task.label,
+                "ok": True,
+                "seed": state.seed,
+                "attempts": len(state.attempts) + 1,
+            })
         if state.attempts:
             self.report.record(
                 RecoveryAction(
@@ -371,6 +414,13 @@ class _Supervisor:
 
     def _finish_failure(self, state: _TaskState, error_type: str, error: str,
                         sim_time=None, component=None, worker=None) -> None:
+        if self.emit is not None:
+            self.emit("harness", "task_done", 0.0, {
+                "label": state.task.label,
+                "ok": False,
+                "error_type": error_type,
+                "sim_time": sim_time,
+            })
         self.out[state.index] = (
             None,
             RunFailure(
@@ -440,6 +490,15 @@ class _Supervisor:
                 detail=detail, worker=worker,
             )
         )
+        if self.emit is not None:
+            self.emit("harness", "task_retry", 0.0, {
+                "label": state.task.label,
+                "kind": kind,
+                "error_type": error_type,
+                "seed": state.seed,
+                "sim_time": sim_time,
+                "seconds": backoff,
+            })
         self.queue.append(state)
 
     # -- worker lifecycle ------------------------------------------------
@@ -485,6 +544,13 @@ class _Supervisor:
             return False
         self.pool_failures = 0
         self.running[worker.conn] = worker
+        if self.emit is not None:
+            self.emit("harness", "task_start", 0.0, {
+                "label": state.task.label,
+                "seed": state.seed,
+                "worker": worker.identity,
+                "backend": "supervised",
+            })
         return True
 
     def _kill_worker(self, worker: _Worker, kind: str, error: str) -> None:
@@ -649,6 +715,7 @@ def execute_supervised(
     journal: Optional[Union[ResultJournal, str, os.PathLike]] = None,
     resume: bool = False,
     report: Optional[SupervisorReport] = None,
+    tracer: Optional[object] = None,
 ) -> List[TaskResult]:
     """Run every task under supervision; same contract as ``execute_tasks``.
 
@@ -664,6 +731,14 @@ def execute_supervised(
     failure in task order raises
     :class:`~repro.errors.ParallelExecutionError`, exactly like the pool
     executor; ``"capture"`` returns failures in their slots.
+
+    ``tracer`` (a :class:`~repro.obs.trace.Tracer`) receives the
+    supervision lifecycle as ``harness`` spans — ``task_start`` per
+    spawned attempt (seed + worker identity), ``task_retry`` per
+    recovery decision (failure kind, sim-time when known, backoff
+    seconds), ``cache_hit``, ``journal_append`` (wall seconds), and
+    ``task_done``.  Purely observational: recovery decisions, ordering
+    and results are identical with tracing on or off.
     """
     if on_error not in ("raise", "capture"):
         raise ValueError(f"on_error must be 'raise' or 'capture' (got {on_error!r})")
@@ -676,7 +751,8 @@ def execute_supervised(
     journal_obj = ResultJournal(journal) if own_journal else journal
 
     supervisor = _Supervisor(
-        tasks, jobs, on_error, config, cache, journal_obj, report
+        tasks, jobs, on_error, config, cache, journal_obj, report,
+        tracer=tracer,
     )
     try:
         supervisor.prefill(resume)
@@ -711,6 +787,7 @@ def run_supervised_tasks(
     supervisor: Optional[SupervisorConfig] = None,
     journal: Optional[Union[ResultJournal, str, os.PathLike]] = None,
     resume: bool = False,
+    tracer: Optional[object] = None,
 ):
     """Sweep-runner entry point: execute supervised, return (pairs, report).
 
@@ -734,5 +811,6 @@ def run_supervised_tasks(
         journal=journal,
         resume=resume,
         report=report,
+        tracer=tracer,
     )
     return pairs, report

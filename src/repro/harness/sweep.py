@@ -122,6 +122,7 @@ def run_coexistence_grid(
     journal=None,
     resume: bool = False,
     scheduler: str = "wheel",
+    tracer=None,
 ) -> GridOutcome:
     """Run the Figure 15–18 grid; one long-running flow per class per cell.
 
@@ -155,6 +156,11 @@ def run_coexistence_grid(
     interrupted-then-resumed sweep returns bit-identical results to an
     uninterrupted one.  The outcome's ``recovery`` attribute carries the
     backend's :class:`~repro.harness.supervisor.SupervisorReport`.
+
+    ``tracer`` (a :class:`~repro.obs.trace.Tracer`) observes the sweep:
+    harness lifecycle spans from whichever backend runs the cells, plus
+    per-cell AQM/engine events on in-process execution paths.  Tracing
+    never changes results — digests are bit-exact with it on or off.
     """
     from repro.harness.experiment import run_experiment
 
@@ -194,12 +200,12 @@ def run_coexistence_grid(
             pairs, outcome.recovery = _execute_supervised_tasks(
                 tasks, jobs=jobs, on_error=on_error, max_retries=max_retries,
                 cache=cache, supervisor=supervisor, journal=journal,
-                resume=resume,
+                resume=resume, tracer=tracer,
             )
         else:
             pairs = execute_tasks(
                 tasks, jobs=jobs, on_error=on_error,
-                max_retries=max_retries, cache=cache,
+                max_retries=max_retries, cache=cache, tracer=tracer,
             )
         for (link, rtt, _exp), (result, failure) in zip(cells, pairs):
             if result is not None:
@@ -210,7 +216,7 @@ def run_coexistence_grid(
 
     for link, rtt, exp in cells:
         if on_error == "raise":
-            outcome.append(GridCell(link, rtt, run_experiment(exp)))
+            outcome.append(GridCell(link, rtt, run_experiment(exp, tracer=tracer)))
             continue
         result, failure = run_with_retries(
             exp, label=f"cell link={link}Mb/s rtt={rtt}ms",
@@ -241,6 +247,7 @@ def run_mix_sweep(
     supervisor=None,
     journal=None,
     resume: bool = False,
+    tracer=None,
 ) -> Dict[Tuple[int, int], ExperimentResult]:
     """Run the Figure 19–20 flow-mix sweep at one operating point.
 
@@ -255,6 +262,8 @@ def run_mix_sweep(
     watchdogged, journal-backed backend exactly as in
     :func:`run_coexistence_grid`; the returned dict then carries the
     :class:`~repro.harness.supervisor.SupervisorReport` as ``recovery``.
+    ``tracer`` observes the sweep exactly as in
+    :func:`run_coexistence_grid`, without changing any result.
     """
     from repro.harness.experiment import run_experiment
 
@@ -290,12 +299,12 @@ def run_mix_sweep(
             pairs, results.recovery = _execute_supervised_tasks(
                 tasks, jobs=jobs, on_error=on_error, max_retries=max_retries,
                 cache=cache, supervisor=supervisor, journal=journal,
-                resume=resume,
+                resume=resume, tracer=tracer,
             )
         else:
             pairs = execute_tasks(
                 tasks, jobs=jobs, on_error=on_error,
-                max_retries=max_retries, cache=cache,
+                max_retries=max_retries, cache=cache, tracer=tracer,
             )
         for (n_a, n_b, _exp), (result, failure) in zip(entries, pairs):
             if result is not None:
@@ -306,7 +315,7 @@ def run_mix_sweep(
 
     for n_a, n_b, exp in entries:
         if on_error == "raise":
-            results[(n_a, n_b)] = run_experiment(exp)
+            results[(n_a, n_b)] = run_experiment(exp, tracer=tracer)
             continue
         result, failure = run_with_retries(
             exp, label=f"mix {cc_a}x{n_a} vs {cc_b}x{n_b}", max_retries=max_retries

@@ -379,6 +379,34 @@ class Link:
         else:
             self._train_pending = False
 
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def register_metrics(self, registry: object) -> None:
+        """Register the link's counters under the ``link.`` prefix.
+
+        ``registry`` is a :class:`repro.obs.metrics.MetricsRegistry`
+        (duck-typed so the net layer never imports the observability
+        layer); the provider runs at snapshot time, exporting end-of-run
+        totals.
+        """
+        registry.register_provider("link", self._metrics_snapshot)  # type: ignore[attr-defined]
+
+    def _metrics_snapshot(self) -> dict:
+        """Flat metric values: throughput, batching and outage counters."""
+        return {
+            "capacity_bps": self.capacity_bps,
+            "bytes_sent": self.bytes_sent,
+            "packets_sent": self.packets_sent,
+            "busy_time": self.busy_time,
+            "idle_time": self.idle_time,
+            "batches": self.batches,
+            "batched_packets": self.batched_packets,
+            "longest_batch": self.longest_batch,
+            "interrupted_batches": self.interrupted_batches,
+            "outages": self.outages,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "down" if self.down else ("busy" if self.busy else "idle")
         return f"<Link {self.capacity_bps / 1e6:.1f}Mbps {state}>"

@@ -21,6 +21,11 @@ Four layers, each answering one question:
   per unique cell (``single_flight_ok``)?
 * :func:`bench_grid` — what does a paper grid (Figures 15–18 shaped)
   cost wall-clock: serial, parallel (``jobs``), cold cache, warm cache?
+* :func:`bench_tracing` — is the observability layer really free when
+  off?  Interleaved A/A timing of the untraced path bounds the
+  tracing-off overhead (``tracing_overhead_ok`` gates it at ≤ 1 %),
+  and a fully traced run must reproduce the untraced digest bit-exact
+  (``matches_untraced``).
 
 :func:`run_benchmarks` bundles them into one JSON-able payload and
 :func:`write_bench_json` emits ``BENCH_<date>.json``, the artifact CI
@@ -56,6 +61,7 @@ __all__ = [
     "bench_shared_cache",
     "bench_grid",
     "bench_supervised",
+    "bench_tracing",
     "run_benchmarks",
     "write_bench_json",
     "format_bench_table",
@@ -628,6 +634,85 @@ def bench_supervised(
     )
 
 
+def bench_tracing(
+    duration: float = 5.0,
+    repeats: int = 3,
+    seed: int = 1,
+) -> BenchRecord:
+    """Cost and correctness of the :mod:`repro.obs` tracing layer.
+
+    Two claims are measured on the light-TCP scenario:
+
+    * **Off is free.**  When no tracer is passed, the observability
+      hooks reduce to one ``is None`` check per engine run plus a
+      metrics snapshot at teardown — nothing per event.  There is no
+      hook-free build to diff against, so the honest measurement is an
+      interleaved A/A comparison: two best-of-``repeats`` series of the
+      *identical* untraced run, whose relative gap bounds both the
+      hooks' cost and the timer noise floor.  ``tracing_off_overhead_pct``
+      reports that gap; ``tracing_overhead_ok`` gates it at ≤ 1 % (with
+      a 50 ms absolute-floor grace, as quick runs finish in ~1 s and a
+      single scheduler preemption exceeds 1 % of that).
+    * **On observes, never perturbs.**  A fully traced run (all
+      categories, JSONL to a temp file) must produce the bit-exact
+      digest of the untraced run — ``matches_untraced``, failing
+      ``repro bench`` like the other determinism gates.  The traced
+      wall-clock and event/byte volume land in ``extra`` for scale.
+
+    The traced run's ``telemetry`` snapshot rides along in ``extra`` so
+    :func:`run_benchmarks` can lift it into the payload's top-level
+    ``telemetry`` block.
+    """
+    from repro.harness.experiment import run_experiment
+    from repro.obs.trace import JsonlTracer
+
+    exp = light_tcp(pi2_factory(), duration=duration, seed=seed)
+
+    best = {"a": float("inf"), "b": float("inf")}
+    baseline = None
+    for _ in range(repeats):
+        for series in ("a", "b"):
+            start = time.perf_counter()
+            result = run_experiment(exp)
+            wall = time.perf_counter() - start
+            best[series] = min(best[series], wall)
+            if baseline is None:
+                baseline = result
+    floor = min(best.values())
+    gap = abs(best["a"] - best["b"])
+    off_pct = gap / floor * 100.0 if floor > 0 else 0.0
+    overhead_ok = off_pct <= 1.0 or gap <= 0.05
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-trace-") as tmp:
+        trace_path = os.path.join(tmp, "bench-trace.jsonl")
+        tracer = JsonlTracer(trace_path)
+        start = time.perf_counter()
+        traced = run_experiment(exp, tracer=tracer)
+        traced_wall = time.perf_counter() - start
+        tracer.close()
+        trace_events = tracer.total_events
+        trace_counts = dict(sorted(tracer.counts.items()))
+        trace_bytes = os.path.getsize(trace_path)
+
+    assert baseline is not None
+    on_pct = (traced_wall - floor) / floor * 100.0 if floor > 0 else 0.0
+    return BenchRecord(
+        "tracing",
+        floor,
+        extra={
+            "wall_seconds_traced": traced_wall,
+            "tracing_off_overhead_pct": off_pct,
+            "tracing_overhead_ok": overhead_ok,
+            "tracing_on_overhead_pct": on_pct,
+            "trace_events": trace_events,
+            "trace_event_counts": trace_counts,
+            "trace_bytes": trace_bytes,
+            "matches_untraced": traced.digest() == baseline.digest(),
+            "telemetry": traced.telemetry,
+        },
+    )
+
+
 def run_benchmarks(
     quick: bool = True,
     jobs: Optional[int] = None,
@@ -659,6 +744,11 @@ def run_benchmarks(
             jobs=jobs, grid=QUICK_GRID if quick else FULL_GRID, seed=seed
         )
     )
+    tracing = bench_tracing(duration=5.0 * (1 if quick else 2), seed=seed)
+    # The traced run's metrics snapshot becomes the payload's top-level
+    # telemetry block; the per-benchmark record keeps only the numbers.
+    telemetry = tracing.extra.pop("telemetry", None)
+    records.append(tracing)
     return {
         "schema": 1,
         "date": datetime.date.today().isoformat(),
@@ -669,6 +759,7 @@ def run_benchmarks(
             "cpus": os.cpu_count(),
         },
         "static_analysis": _static_analysis_summary(),
+        "telemetry": telemetry,
         "benchmarks": [record.to_dict() for record in records],
     }
 
@@ -709,7 +800,7 @@ def format_bench_table(payload: Dict[str, object]) -> str:
             if key in bench:
                 note_parts.append(f"{key.split('_vs_')[-1]}×{bench[key]:.2f}")
         for key in ("matches_serial", "matches_cold", "matches_unbatched",
-                    "matches_resume", "matches_heap"):
+                    "matches_resume", "matches_heap", "matches_untraced"):
             if key in bench and not bench[key]:
                 note_parts.append("MISMATCH!")
         if "single_flight_ok" in bench:
@@ -720,6 +811,13 @@ def format_bench_table(payload: Dict[str, object]) -> str:
         if "journal_overhead_pct" in bench:
             note_parts.append(f"journal+{bench['journal_overhead_pct']:.1f}%")
             if not bench.get("journal_overhead_ok", True):
+                note_parts.append("OVERHEAD!")
+        if "tracing_off_overhead_pct" in bench:
+            note_parts.append(
+                f"off+{bench['tracing_off_overhead_pct']:.2f}% "
+                f"{bench['trace_events']} ev"
+            )
+            if not bench.get("tracing_overhead_ok", True):
                 note_parts.append("OVERHEAD!")
         rows.append(
             (

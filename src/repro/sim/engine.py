@@ -102,7 +102,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import CallbackError, SimulationError, WatchdogExceeded
 
@@ -128,6 +128,14 @@ _heappush = heapq.heappush
 #: Upper bound on the pooled-event freelist; beyond this, recycled
 #: events are simply dropped for the GC.
 _POOL_MAX = 1024
+
+#: Virtual-time span of one dispatch epoch when an engine tracer is
+#: installed: the traced run loop executes in chunks of this many
+#: seconds and emits one ``engine_epoch`` lane-occupancy snapshot per
+#: chunk.  Chunked ``run`` calls compose exactly (``run(10); run(20)``
+#: ≡ ``run(20)``), so chunking never changes results — only how often
+#: the loop surfaces for a snapshot.
+_TRACE_EPOCH_SPAN = 0.25
 
 
 def _nop() -> None:  # pragma: no cover - placeholder, never dispatched
@@ -278,9 +286,34 @@ class Simulator:
         self._compactions = 0
         self._events_batched = 0
         self._batch_breaks = 0
+        #: Freelist accounting for the pooled entry points: a hit reused
+        #: a recycled Event, a miss allocated a fresh one.
+        self._pool_hits = 0
+        self._pool_misses = 0
         self._horizon: Optional[float] = None
         self._running = False
         self._watchdog: Optional[Watchdog] = None
+        #: Optional telemetry sink (duck-typed; see repro.obs.trace).
+        #: The engine only ever *emits* into it — tracers observe, they
+        #: never schedule (the OBS static-analysis rule).
+        self._tracer: Optional[Any] = None
+        self._trace_epochs = 0
+
+    def set_tracer(self, tracer: Optional[Any]) -> None:
+        """Install (or clear, with ``None``) an engine-event tracer.
+
+        With a tracer installed, :meth:`run` executes in virtual-time
+        chunks of :data:`_TRACE_EPOCH_SPAN` seconds and emits one
+        ``engine_epoch`` snapshot (lane occupancy, pool and batching
+        counters) per chunk.  Chunked runs compose exactly, so results
+        are bit-identical with tracing on or off; only the run loop's
+        granularity — and hence counters like ``batch_breaks``, which
+        count horizon-bounded batching — may differ.  Callers should
+        pass tracers through :func:`repro.obs.trace.engine_tracer` so
+        the category-subscription check stays in the observability
+        layer.
+        """
+        self._tracer = tracer
 
     def set_watchdog(
         self,
@@ -355,9 +388,11 @@ class Simulator:
             ev.seq = seq
             ev.fn = fn
             ev.args = args
+            self._pool_hits += 1
         else:
             ev = Event(time, seq, fn, args, sim=self)
             ev.recycle = True
+            self._pool_misses += 1
         if self._wheel_on:
             if delay < _WHEEL_SAFE:
                 idx = int((time - self._epoch) * _INV_WIDTH)
@@ -384,9 +419,11 @@ class Simulator:
             ev.seq = seq
             ev.fn = fn
             ev.args = args
+            self._pool_hits += 1
         else:
             ev = Event(time, seq, fn, args, sim=self)
             ev.recycle = True
+            self._pool_misses += 1
         if self._wheel_on:
             if time - self.now < _WHEEL_SAFE:
                 idx = int((time - self._epoch) * _INV_WIDTH)
@@ -721,9 +758,68 @@ class Simulator:
         """
         if until < self.now:
             raise ValueError(f"cannot run backwards to t={until} from t={self.now}")
+        if self._tracer is not None:
+            self._traced_run(until)
+            return
         if self._wheel_on:
             self._run_wheel(until)
             return
+        self._run_heap(until)
+
+    def _traced_run(self, until: float) -> None:
+        """Run to ``until`` in epoch chunks, snapshotting lane stats.
+
+        The actual dispatching is delegated to the untraced backend loop
+        (:meth:`_run_wheel` / :meth:`_run_heap`) one
+        :data:`_TRACE_EPOCH_SPAN`-sized chunk at a time; between chunks
+        — never between two events — an ``engine_epoch`` event records
+        wheel/overflow/stream/heap occupancy and the pool and batching
+        counters.  Because back-to-back ``run`` calls compose exactly
+        and batching is digest-invariant (batch boundaries at chunk
+        horizons only perturb the batching *counters*, which are not
+        part of any digest), the dispatch order — and therefore every
+        result bit — is identical to an untraced run.
+        """
+        runner = self._run_wheel if self._wheel_on else self._run_heap
+        tracer = self._tracer
+        while True:
+            head = self.peek_time()
+            if head is None or head > until:
+                stop = until
+            else:
+                start = head if head > self.now else self.now
+                stop = start + _TRACE_EPOCH_SPAN
+                if stop > until:
+                    stop = until
+            runner(stop)
+            self._trace_epochs += 1
+            if tracer is not None:
+                tracer.emit(
+                    "engine",
+                    "engine_epoch",
+                    self.now,
+                    {
+                        "epoch": self._trace_epochs,
+                        "scheduler": self.scheduler,
+                        "wheel": self._wheel_count,
+                        "overflow": len(self._overflow),
+                        "stream": len(self._streams),
+                        "heap": len(self._heap),
+                        "pool_free": len(self._pool),
+                        "pool_hits": self._pool_hits,
+                        "pool_misses": self._pool_misses,
+                        "events_processed": self._events_processed,
+                        "events_batched": self._events_batched,
+                        "batch_breaks": self._batch_breaks,
+                        "cancelled_pending": self._cancelled_pending,
+                        "compactions": self._compactions,
+                    },
+                )
+            if self.now >= until:
+                return
+
+    def _run_heap(self, until: float) -> None:
+        """The heap-backend run loop; same contract as :meth:`run`."""
         watchdog = self._watchdog
         event_budget = (
             self._events_processed + watchdog.max_events
@@ -1197,6 +1293,41 @@ class Simulator:
     def batch_breaks(self) -> int:
         """Times a batch stopped early because a foreign event intervened."""
         return self._batch_breaks
+
+    @property
+    def pool_hits(self) -> int:
+        """Pooled scheduling calls served from the Event freelist."""
+        return self._pool_hits
+
+    @property
+    def pool_misses(self) -> int:
+        """Pooled scheduling calls that had to allocate a fresh Event."""
+        return self._pool_misses
+
+    def register_metrics(self, registry: Any) -> None:
+        """Register the engine's counters under the ``engine.`` prefix.
+
+        ``registry`` is a :class:`repro.obs.metrics.MetricsRegistry`
+        (duck-typed here so the engine never imports the observability
+        layer); the provider is evaluated lazily at snapshot time.
+        """
+        registry.register_provider("engine", self._metrics_snapshot)
+
+    def _metrics_snapshot(self) -> Dict[str, Any]:
+        """Flat end-of-run metric values for :meth:`register_metrics`."""
+        return {
+            "scheduler": self.scheduler,
+            "events_processed": self._events_processed,
+            "events_batched": self._events_batched,
+            "batch_breaks": self._batch_breaks,
+            "cancelled_pending": self._cancelled_pending,
+            "compactions": self._compactions,
+            "pending_events": self.pending_events,
+            "pool_free": len(self._pool),
+            "pool_hits": self._pool_hits,
+            "pool_misses": self._pool_misses,
+            "trace_epochs": self._trace_epochs,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -39,7 +39,9 @@ def _rules_hit(findings):
 # ----------------------------------------------------------------------
 class TestFramework:
     def test_all_builtin_rules_registered(self):
-        assert {"DET", "ORD", "PROB", "SCHED", "PICKLE", "FLOAT"} <= set(RULES)
+        assert {
+            "DET", "ORD", "PROB", "SCHED", "PICKLE", "FLOAT", "OBS"
+        } <= set(RULES)
 
     def test_rules_have_descriptions_and_severity(self):
         for rule in RULES.values():
@@ -334,6 +336,72 @@ class TestPickleRule:
         )
         findings, _ = _check(text, package="harness", rules=["PICKLE"])
         assert findings == []
+
+
+# ----------------------------------------------------------------------
+# OBS — tracers observe, never steer
+# ----------------------------------------------------------------------
+class TestObsRule:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # Tracer call result assigned.
+            "def f(tracer):\n    ok = tracer.emit('aqm', 'x', 0.0, {})\n"
+            "    return ok\n",
+            # Tracer call result tested in a condition.
+            "def f(self):\n    if self._tracer.wants('engine'):\n"
+            "        return 1\n    return 0\n",
+            # Tracer call result passed onward.
+            "def f(tracer, sink):\n"
+            "    sink(tracer.emit('aqm', 'x', 0.0, {}))\n",
+            # Tracer handed to the scheduler as a callback.
+            "def f(sim, tracer):\n    sim.every(0.016, tracer.flush)\n",
+            # Tracer state mixed into a scheduling time argument.
+            "def f(sim, cb):\n"
+            "    sim.schedule(self._tracer.last_t + 0.1, cb)\n",
+            # ... including via keyword arguments.
+            "def f(sim, tracer, cb):\n"
+            "    sim.stream_schedule(1.0, cb, key=tracer)\n",
+        ],
+    )
+    def test_fires(self, snippet):
+        findings, _ = _check(snippet, package="sim", rules=["OBS"])
+        assert _rules_hit(findings) == {"OBS"}, snippet
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # The sanctioned shape: emit as a bare statement.
+            "def f(tracer):\n    tracer.emit('aqm', 'x', 0.0, {})\n",
+            "def f(self):\n    self._tracer.emit('engine', 'x', 0.0, {})\n",
+            # Guarding on identity (not a call) is fine.
+            "def f(self):\n    if self._tracer is not None:\n"
+            "        self._tracer.emit('engine', 'x', 0.0, {})\n",
+            # Binding the emit method (attribute read, not a call).
+            "def f(tracer):\n"
+            "    emit = tracer.emit if tracer is not None else None\n"
+            "    if emit is not None:\n"
+            "        emit('harness', 'x', 0.0, {})\n",
+            # obs-package helpers called by bare name are not tracer chains.
+            "def f(sim, tracer):\n"
+            "    sim.set_tracer(engine_tracer(tracer))\n",
+            # Scheduling without any tracer reference is SCHED's business.
+            "def f(sim, cb):\n    sim.schedule(sim.now + 0.1, cb)\n",
+        ],
+    )
+    def test_quiet_on_compliant(self, snippet):
+        findings, _ = _check(snippet, package="sim", rules=["OBS"])
+        assert findings == [], snippet
+
+    def test_scoped_to_simulation_packages(self):
+        # The obs package itself (and anything outside the simulation
+        # packages) may consume tracer results — that is where wants()
+        # capability checks live.
+        text = "def f(tracer):\n    return tracer.wants('aqm')\n"
+        findings, _ = _check(text, package="obs", rules=["OBS"])
+        assert findings == []
+        findings, _ = _check(text, package="harness", rules=["OBS"])
+        assert _rules_hit(findings) == {"OBS"}
 
 
 # ----------------------------------------------------------------------
