@@ -3,40 +3,54 @@
 AST-level lints for the invariants the reproduction's bit-exact
 determinism rests on — seeded randomness (DET), deterministic iteration
 (ORD), probability domain safety (PROB), virtual-time scheduling
-(SCHED) and process-pool picklability (PICKLE) — plus the framework to
-write more.  See docs/STATIC_ANALYSIS.md for the rule catalogue,
-suppression syntax (``# repro: allow[RULE] justification``) and the
-guide to adding a rule.
+(SCHED), process-pool picklability (PICKLE), order-stable float sums
+(FLOAT) and write-only tracers (OBS) — plus two *project-wide* pass-2
+rules over the symbol table/call graph in
+:mod:`repro.analysis.static.graph`: interprocedural nondeterminism
+taint (TAINT) and annotation-driven dimensional analysis (UNIT).  See
+docs/STATIC_ANALYSIS.md for the rule catalogue, suppression syntax
+(``# repro: allow[RULE] justification``), the findings-baseline ratchet
+and the guide to adding a rule.
 """
 
 from repro.analysis.static.core import (
     RULES,
     Finding,
+    ProjectRule,
     Rule,
     Severity,
     SourceFile,
     check_source,
     register,
 )
+from repro.analysis.static.graph import ProjectIndex
 from repro.analysis.static.runner import (
     JSON_SCHEMA_VERSION,
     Report,
     analyze_paths,
+    apply_baseline,
     default_target,
+    load_baseline,
     run_check,
+    to_sarif,
 )
 
 __all__ = [
     "RULES",
     "Finding",
+    "ProjectRule",
     "Rule",
     "Severity",
     "SourceFile",
     "check_source",
     "register",
+    "ProjectIndex",
     "JSON_SCHEMA_VERSION",
     "Report",
     "analyze_paths",
+    "apply_baseline",
     "default_target",
+    "load_baseline",
     "run_check",
+    "to_sarif",
 ]

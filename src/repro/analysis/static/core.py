@@ -41,6 +41,7 @@ __all__ = [
     "Finding",
     "SourceFile",
     "Rule",
+    "ProjectRule",
     "RULES",
     "register",
     "check_source",
@@ -238,6 +239,41 @@ class Rule:
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0) + 1,
             message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that needs the *whole project* — pass 2 of the analyzer.
+
+    Per-file rules see one AST at a time; a :class:`ProjectRule` is handed
+    a :class:`~repro.analysis.static.graph.ProjectIndex` (symbol table +
+    call graph over every file, built once per run) and can follow values
+    across function and module boundaries.  Subclasses implement
+    :meth:`check_project`; ``files`` restricts which files findings may
+    be *emitted* for (the incremental runner passes the dirty set —
+    summaries/annotations from clean files are still consulted).
+
+    :meth:`check` keeps the per-file contract working — a project rule
+    run over a single :class:`SourceFile` (fixture tests,
+    :func:`check_source`) builds a one-file index on the fly — so
+    fixture-based testing needs no special casing.
+    """
+
+    def check_project(
+        self,
+        index: "object",
+        files: Optional[frozenset] = None,
+    ) -> Iterator[Finding]:
+        """Yield findings over the whole indexed project.  Override."""
+        raise NotImplementedError
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Single-file fallback: index just this file and delegate."""
+        from repro.analysis.static.graph import ProjectIndex
+
+        index = ProjectIndex.build([source])
+        yield from self.check_project(
+            index, files=frozenset({source.display_path})
         )
 
 

@@ -25,6 +25,17 @@ happens::
     total = sum(sorted(values))        # one canonical order
     total = math.fsum(sorted(values))  # and exactly rounded, if it matters
 
+The rule also flags the one-liner form of the same bug: ``sum(...)`` or
+``math.fsum(...)`` called *directly* on a set expression, a dict view
+(``.values()``/``.keys()``/``.items()``), or an unsorted filesystem
+listing.  ``fsum`` is exactly rounded and therefore order-*independent*
+for the sum itself, but the sanctioned spelling is uniform —
+``sorted(...)`` inside the reduction — because the same iterable
+routinely feeds order-sensitive consumers next to the sum.  Dict views
+are flagged *here* (and not by ORD, which deliberately trusts insertion
+order) because insertion order of a dict populated from an unordered
+upstream is exactly as unstable as the upstream.
+
 Iteration over lists, tuples, ranges and dict views is not flagged —
 those have a deterministic (insertion or index) order — and unordered
 iteration *without* accumulation stays ORD's concern, not FLOAT's.
@@ -79,6 +90,42 @@ def _unordered_source(node: ast.AST) -> Optional[str]:
     return None
 
 
+#: Dict views: ordered per-dict, but only as ordered as their producer.
+_DICT_VIEW_CALLS = frozenset({"values", "keys", "items"})
+
+
+def _reduction_operand_problem(node: ast.AST) -> Optional[str]:
+    """Why summing this operand directly is order-unstable, if it is."""
+    why = _unordered_source(node)
+    if why is not None:
+        return why
+    if isinstance(node, ast.Call):
+        name = _call_simple_name(node)
+        if (
+            name in _DICT_VIEW_CALLS
+            and isinstance(node.func, ast.Attribute)
+            and not node.args
+        ):
+            return f"a dict .{name}() view"
+    return None
+
+
+def _is_sum_call(node: ast.Call) -> Optional[str]:
+    """``sum``/``math.fsum`` spelling when the call is a reduction."""
+    if isinstance(node.func, ast.Name) and node.func.id == "sum":
+        return "sum"
+    if (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr == "fsum"
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "math"
+    ):
+        return "math.fsum"
+    if isinstance(node.func, ast.Name) and node.func.id == "fsum":
+        return "fsum"
+    return None
+
+
 def _accumulates(body: list) -> Optional[ast.AST]:
     """First order-sensitive accumulation statement in the loop body."""
     for stmt in body:
@@ -115,19 +162,33 @@ class FloatAccumulationRule(Rule):
 
     def check(self, source: SourceFile) -> Iterator[Finding]:
         for node in ast.walk(source.tree):
-            if not isinstance(node, (ast.For, ast.AsyncFor)):
-                continue
-            why = _unordered_source(node.iter)
-            if why is None:
-                continue
-            hit = _accumulates(node.body)
-            if hit is None:
-                continue
-            yield self.finding(
-                source,
-                hit,
-                f"float accumulation inside a loop over {why}: IEEE-754 "
-                "addition is order-dependent, so the sum is not "
-                "reproducible; iterate sorted(...) (or collect and "
-                "math.fsum a sorted sequence) before accumulating",
-            )
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                why = _unordered_source(node.iter)
+                if why is None:
+                    continue
+                hit = _accumulates(node.body)
+                if hit is None:
+                    continue
+                yield self.finding(
+                    source,
+                    hit,
+                    f"float accumulation inside a loop over {why}: "
+                    "IEEE-754 addition is order-dependent, so the sum is "
+                    "not reproducible; iterate sorted(...) (or collect "
+                    "and math.fsum a sorted sequence) before accumulating",
+                )
+            elif isinstance(node, ast.Call):
+                spelling = _is_sum_call(node)
+                if spelling is None or not node.args:
+                    continue
+                why = _reduction_operand_problem(node.args[0])
+                if why is None:
+                    continue
+                yield self.finding(
+                    source,
+                    node,
+                    f"{spelling}() called directly on {why}: the "
+                    "reduction order (and any per-element side effects) "
+                    f"follows an unstable iteration; use "
+                    f"{spelling}(sorted(...)) instead",
+                )

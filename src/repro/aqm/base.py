@@ -26,6 +26,7 @@ import math
 from typing import TYPE_CHECKING, Optional, Protocol
 
 from repro.errors import ControllerDivergence
+from repro.units import Bytes, Packets, Probability, Seconds
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.net.packet import Packet
@@ -43,7 +44,7 @@ __all__ = [
 ]
 
 
-def clamp_unit(value: float, upper: float = 1.0) -> float:
+def clamp_unit(value: float, upper: Probability = 1.0) -> Probability:
     """Clamp ``value`` into ``[0, upper]`` (``upper`` defaults to 1).
 
     The single clamp used at every probability write in the AQM layer, so
@@ -91,15 +92,15 @@ class Decision(enum.Enum):
 class QueueView(Protocol):
     """The slice of queue state visible to an AQM."""
 
-    def byte_length(self) -> int:
+    def byte_length(self) -> Bytes:
         """Current backlog in bytes."""
         ...
 
-    def packet_length(self) -> int:
+    def packet_length(self) -> Packets:
         """Current backlog in packets."""
         ...
 
-    def queue_delay(self) -> float:
+    def queue_delay(self) -> Seconds:
         """Estimated queuing delay in seconds for a packet arriving now."""
         ...
 
@@ -153,7 +154,7 @@ class AQM:
     """
 
     #: Period of the PI update timer in seconds; None = no timer (e.g. RED).
-    update_interval: Optional[float] = None
+    update_interval: Optional[Seconds] = None
 
     def __init__(self) -> None:
         self.stats = AQMStats()
@@ -209,7 +210,7 @@ class AQM:
         """Per-packet decision; override in subclasses."""
         return Decision.PASS
 
-    def on_dequeue(self, packet: "Packet", now: float) -> None:
+    def on_dequeue(self, packet: "Packet", now: Seconds) -> None:
         """Departure observation; override if the algorithm needs it."""
 
     def update(self) -> None:
@@ -217,12 +218,12 @@ class AQM:
 
     # -- instrumentation --------------------------------------------------
     @property
-    def probability(self) -> float:
+    def probability(self) -> Probability:
         """Currently applied congestion-signal probability (for plots)."""
         return 0.0
 
     @property
-    def raw_probability(self) -> float:
+    def raw_probability(self) -> Probability:
         """Internal controller variable (``p'`` for PI2); defaults to
         :attr:`probability` for single-stage algorithms."""
         return self.probability

@@ -30,14 +30,15 @@ from typing import Optional
 from repro.aqm.base import AQM, Decision, clamp_unit, guard_finite
 from repro.net.packet import Packet
 from repro.sim.random import default_stream
+from repro.units import PerSecond, Probability, Seconds
 
 __all__ = ["PIController", "PiAqm"]
 
 #: Paper defaults (Figure 6 caption): PIE-scale gains without auto-tuning.
-DEFAULT_ALPHA = 0.125
-DEFAULT_BETA = 1.25
-DEFAULT_TARGET = 0.020
-DEFAULT_T_UPDATE = 0.032
+DEFAULT_ALPHA: PerSecond = 0.125
+DEFAULT_BETA: PerSecond = 1.25
+DEFAULT_TARGET: Seconds = 0.020
+DEFAULT_T_UPDATE: Seconds = 0.032
 
 
 class PIController:
@@ -51,10 +52,10 @@ class PIController:
 
     def __init__(
         self,
-        alpha: float,
-        beta: float,
-        target: float,
-        p_max: float = 1.0,
+        alpha: PerSecond,
+        beta: PerSecond,
+        target: Seconds,
+        p_max: Probability = 1.0,
     ):
         if alpha <= 0 or beta <= 0:
             raise ValueError(f"gains must be positive (got alpha={alpha}, beta={beta})")
@@ -66,10 +67,10 @@ class PIController:
         self.beta = beta
         self.target = target
         self.p_max = p_max
-        self.p = 0.0
-        self.prev_delay = 0.0
+        self.p: Probability = 0.0
+        self.prev_delay: Seconds = 0.0
 
-    def update(self, delay: float, gain_scale: float = 1.0) -> float:
+    def update(self, delay: Seconds, gain_scale: float = 1.0) -> Probability:
         """One controller step: equation (4), returning the new output.
 
         ``gain_scale`` multiplies Δp; PIE's auto-tune passes its stepped
@@ -137,11 +138,11 @@ class PiAqm(AQM):
 
     def __init__(
         self,
-        alpha: float = DEFAULT_ALPHA,
-        beta: float = DEFAULT_BETA,
-        target_delay: float = DEFAULT_TARGET,
-        update_interval: float = DEFAULT_T_UPDATE,
-        p_max: float = 1.0,
+        alpha: PerSecond = DEFAULT_ALPHA,
+        beta: PerSecond = DEFAULT_BETA,
+        target_delay: Seconds = DEFAULT_TARGET,
+        update_interval: Seconds = DEFAULT_T_UPDATE,
+        p_max: Probability = 1.0,
         ecn: bool = True,
         rng: Optional[random.Random] = None,
     ):
@@ -165,6 +166,6 @@ class PiAqm(AQM):
         return Decision.DROP
 
     @property
-    def probability(self) -> float:
+    def probability(self) -> Probability:
         """Currently applied drop/mark probability ``p``."""
         return self.controller.p

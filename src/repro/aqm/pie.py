@@ -37,6 +37,7 @@ from repro.aqm.pi import PIController
 from repro.aqm.tune_table import tune
 from repro.net.packet import Packet
 from repro.sim.random import default_stream
+from repro.units import PerSecond, Probability, Seconds
 
 __all__ = ["PieAqm", "BarePieAqm"]
 
@@ -69,14 +70,14 @@ class PieAqm(AQM):
 
     def __init__(
         self,
-        alpha: float = 2.0 / 16.0,
-        beta: float = 20.0 / 16.0,
-        target_delay: float = 0.020,
-        update_interval: float = 0.032,
-        max_burst: float = 0.100,
+        alpha: PerSecond = 2.0 / 16.0,
+        beta: PerSecond = 20.0 / 16.0,
+        target_delay: Seconds = Seconds(0.020),
+        update_interval: Seconds = Seconds(0.032),
+        max_burst: Seconds = Seconds(0.100),
         auto_tune: bool = True,
         ecn: bool = True,
-        ecn_drop_threshold: Optional[float] = None,
+        ecn_drop_threshold: Optional[Probability] = None,
         dp_cap_enabled: bool = True,
         delay_kick_enabled: bool = True,
         drop_early_suppress: bool = True,
@@ -99,8 +100,8 @@ class PieAqm(AQM):
         self.rng = rng or default_stream()
 
         self.burst_allowance = max_burst
-        self._qdelay = 0.0
-        self._qdelay_old = 0.0
+        self._qdelay: Seconds = 0.0
+        self._qdelay_old: Seconds = 0.0
 
     # ------------------------------------------------------------------
     # Periodic probability recomputation
@@ -171,7 +172,7 @@ class PieAqm(AQM):
         return Decision.DROP
 
     @property
-    def probability(self) -> float:
+    def probability(self) -> Probability:
         """Currently applied drop/mark probability ``p``."""
         return self.controller.p
 

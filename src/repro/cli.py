@@ -214,19 +214,35 @@ def _build_parser() -> argparse.ArgumentParser:
     check = sub.add_parser(
         "check",
         help="run the domain static-analysis rules "
-             "(DET/ORD/PROB/SCHED/PICKLE/FLOAT/OBS)",
+             "(DET/ORD/PROB/SCHED/PICKLE/FLOAT/OBS/TAINT/UNIT)",
     )
     check.add_argument("paths", nargs="*", metavar="PATH",
                        help="files or directories to check "
                             "(default: the installed repro package)")
     check.add_argument("--rules", metavar="NAMES",
                        help="comma-separated rule subset (e.g. DET,PROB)")
-    check.add_argument("--format", choices=["human", "json"], default="human",
-                       dest="output_format",
-                       help="report format (json is versioned; see "
-                            "docs/STATIC_ANALYSIS.md)")
+    check.add_argument("--format", choices=["human", "json", "sarif"],
+                       default="human", dest="output_format",
+                       help="report format (json is versioned, sarif is "
+                            "2.1.0; see docs/STATIC_ANALYSIS.md)")
     check.add_argument("--list-rules", action="store_true",
                        help="print the rule catalogue and exit")
+    check.add_argument("--incremental", action="store_true",
+                       help="re-analyze only files whose content hash "
+                            "changed, plus their call-graph dependents "
+                            "(state in --state)")
+    check.add_argument("--state", metavar="PATH", default=None,
+                       help="incremental-state file "
+                            "(default: .repro-check-state.json)")
+    check.add_argument("--baseline", metavar="PATH", default=None,
+                       help="findings-baseline ratchet file "
+                            "(default: tools/findings_baseline.json when "
+                            "a baseline flag is used)")
+    check.add_argument("--update-baseline", action="store_true",
+                       help="rewrite the baseline to the current counts")
+    check.add_argument("--require-baseline", action="store_true",
+                       help="fail when the baseline file is missing "
+                            "(CI mode); gate counts against it")
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("--cache-dir", metavar="DIR",
@@ -398,6 +414,15 @@ def _cmd_bench(args, out) -> int:
         print(f"TRACING OVERHEAD REGRESSION in: {', '.join(slow_tracing)}",
               file=out)
         return 1
+    static = payload.get("static_analysis", {})
+    if static.get("within_budget") is False:
+        print(
+            f"STATIC ANALYSIS BUDGET REGRESSION: full-tree repro check "
+            f"took {static.get('seconds', 0.0):.2f}s "
+            f"(budget {static.get('budget_seconds')}s)",
+            file=out,
+        )
+        return 1
     return 0
 
 
@@ -429,6 +454,11 @@ def _cmd_check(args, out) -> int:
         rule_names=rule_names,
         output_format=args.output_format,
         list_rules=args.list_rules,
+        incremental=args.incremental,
+        state_path=args.state,
+        baseline=args.baseline,
+        update_baseline=args.update_baseline,
+        require_baseline=args.require_baseline,
         out=out,
     )
 

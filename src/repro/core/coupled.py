@@ -34,14 +34,15 @@ from repro.aqm.pi import PIController
 from repro.core.coupling import K_DEPLOYED
 from repro.net.packet import Packet
 from repro.sim.random import default_stream
+from repro.units import PerSecond, Probability, Seconds
 
 __all__ = ["CoupledPi2Aqm", "DEFAULT_ALPHA_COUPLED", "DEFAULT_BETA_COUPLED"]
 
 #: Scalable-branch gains (Table 1: 10/16 and 100/16) — 2× the Classic
 #: PI2 gains, matching the paper's note that k = 2 is also the optimal
 #: gain-factor ratio.
-DEFAULT_ALPHA_COUPLED = 10.0 / 16.0
-DEFAULT_BETA_COUPLED = 100.0 / 16.0
+DEFAULT_ALPHA_COUPLED: PerSecond = 10.0 / 16.0
+DEFAULT_BETA_COUPLED: PerSecond = 100.0 / 16.0
 
 
 class CoupledPi2Aqm(AQM):
@@ -49,12 +50,12 @@ class CoupledPi2Aqm(AQM):
 
     def __init__(
         self,
-        alpha: float = DEFAULT_ALPHA_COUPLED,
-        beta: float = DEFAULT_BETA_COUPLED,
-        target_delay: float = 0.020,
-        update_interval: float = 0.032,
+        alpha: PerSecond = DEFAULT_ALPHA_COUPLED,
+        beta: PerSecond = DEFAULT_BETA_COUPLED,
+        target_delay: Seconds = Seconds(0.020),
+        update_interval: Seconds = Seconds(0.032),
         k: float = K_DEPLOYED,
-        ps_max: float = 1.0,
+        ps_max: Probability = 1.0,
         rng: Optional[random.Random] = None,
     ):
         super().__init__()
@@ -95,15 +96,15 @@ class CoupledPi2Aqm(AQM):
 
     # ------------------------------------------------------------------
     @property
-    def probability(self) -> float:
+    def probability(self) -> Probability:
         """Scalable marking probability ``ps`` (the controller output)."""
         return self.controller.p
 
     @property
-    def classic_probability(self) -> float:
+    def classic_probability(self) -> Probability:
         """Classic drop/mark probability ``pc = (ps/k)²`` (equation 14)."""
         return clamp_unit((self.controller.p / self.k) ** 2)
 
     @property
-    def raw_probability(self) -> float:
+    def raw_probability(self) -> Probability:
         return self.controller.p

@@ -43,12 +43,13 @@ from repro.aqm.base import AQM, Decision, clamp_unit
 from repro.aqm.pi import PIController
 from repro.net.packet import Packet
 from repro.sim.random import default_stream
+from repro.units import PerSecond, Probability, Seconds
 
 __all__ = ["Pi2Aqm", "DEFAULT_ALPHA_PI2", "DEFAULT_BETA_PI2"]
 
 #: PI2 gain defaults (Figure 6/7 captions): 2.5 × PIE's base gains.
-DEFAULT_ALPHA_PI2 = 0.3125
-DEFAULT_BETA_PI2 = 3.125
+DEFAULT_ALPHA_PI2: PerSecond = 0.3125
+DEFAULT_BETA_PI2: PerSecond = 3.125
 
 
 class Pi2Aqm(AQM):
@@ -73,11 +74,11 @@ class Pi2Aqm(AQM):
 
     def __init__(
         self,
-        alpha: float = DEFAULT_ALPHA_PI2,
-        beta: float = DEFAULT_BETA_PI2,
-        target_delay: float = 0.020,
-        update_interval: float = 0.032,
-        classic_p_max: float = 0.25,
+        alpha: PerSecond = DEFAULT_ALPHA_PI2,
+        beta: PerSecond = DEFAULT_BETA_PI2,
+        target_delay: Seconds = Seconds(0.020),
+        update_interval: Seconds = Seconds(0.032),
+        classic_p_max: Probability = 0.25,
         decision_mode: str = "multiply",
         ecn: bool = True,
         rng: Optional[random.Random] = None,
@@ -121,11 +122,11 @@ class Pi2Aqm(AQM):
 
     # ------------------------------------------------------------------
     @property
-    def probability(self) -> float:
+    def probability(self) -> Probability:
         """The applied Classic probability ``p = p'²`` (Figure 17's metric)."""
         return clamp_unit(self.controller.p ** 2)
 
     @property
-    def raw_probability(self) -> float:
+    def raw_probability(self) -> Probability:
         """The internal linear pseudo-probability ``p'``."""
         return self.controller.p

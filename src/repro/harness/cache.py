@@ -44,7 +44,7 @@ import types
 from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Protocol, Tuple
 
 try:  # file locks are POSIX-only; the shared cache degrades without them
     import fcntl
@@ -53,6 +53,17 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 
 from repro.harness.experiment import Experiment
 from repro.harness.frozen import FrozenResult
+
+
+class _TracerLike(Protocol):
+    """The only slice of :class:`repro.obs.trace.Tracer` the cache uses
+    (duck-typed; the harness never imports the observability layer)."""
+
+    def emit(
+        self, category: str, event: str, t: float, fields: Mapping[str, object]
+    ) -> None:
+        ...
+
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -98,7 +109,7 @@ def code_fingerprint() -> str:
     return digest.hexdigest()
 
 
-def describe_aqm_factory(factory) -> Optional[str]:
+def describe_aqm_factory(factory: object) -> Optional[str]:
     """Stable textual identity of an AQM factory, or None if it has none.
 
     Priority: an explicit ``cache_key()`` method (named factories), then
@@ -172,13 +183,13 @@ class ResultCache:
         self.stats = CacheStats()
         #: Optional span sink (:class:`~repro.obs.trace.Tracer`); the
         #: cache only emits into it (``cache_wait`` spans), never reads.
-        self._tracer = None
+        self._tracer: Optional[_TracerLike] = None
 
-    def set_tracer(self, tracer) -> None:
+    def set_tracer(self, tracer: "Optional[_TracerLike]") -> None:
         """Attach a tracer for ``harness`` spans (None detaches)."""
         self._tracer = tracer
 
-    def register_metrics(self, registry) -> None:
+    def register_metrics(self, registry: object) -> None:
         """Register the cache's counters under the ``cache.`` prefix.
 
         ``registry`` is a :class:`repro.obs.metrics.MetricsRegistry`;

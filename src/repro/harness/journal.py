@@ -42,7 +42,7 @@ import pickle
 import struct
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import JournalError
 from repro.harness.frozen import FrozenResult
@@ -165,7 +165,7 @@ class ResultJournal:
     def __enter__(self) -> "ResultJournal":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- reading ---------------------------------------------------------
@@ -201,7 +201,9 @@ class ResultJournal:
         return replay
 
     @staticmethod
-    def _read_record(data: bytes, offset: int):
+    def _read_record(
+        data: bytes, offset: int
+    ) -> Tuple[Optional[JournalRecord], int]:
         """Decode one record at ``offset``; (None, offset) when torn."""
         header_end = offset + _HEADER_SIZE
         if header_end > len(data):

@@ -52,6 +52,7 @@ from typing import Callable, Deque, Optional, Protocol, Tuple
 from repro.net.packet import Packet
 from repro.net.queue import AQMQueue
 from repro.sim.engine import Simulator
+from repro.units import BitsPerSecond, Seconds
 
 __all__ = ["Link", "Sink"]
 
@@ -89,9 +90,9 @@ class Link:
         self,
         sim: Simulator,
         queue: AQMQueue,
-        capacity_bps: float,
+        capacity_bps: BitsPerSecond,
         sink: Optional[Sink] = None,
-        prop_delay: float = 0.0,
+        prop_delay: Seconds = 0.0,
         batching: bool = True,
     ):
         if capacity_bps <= 0:
@@ -139,7 +140,7 @@ class Link:
     # ------------------------------------------------------------------
     # Configuration
     # ------------------------------------------------------------------
-    def set_capacity(self, capacity_bps: float) -> None:
+    def set_capacity(self, capacity_bps: BitsPerSecond) -> None:
         """Change the line rate; also updates the queue's delay estimator."""
         if capacity_bps <= 0:
             raise ValueError(f"capacity must be positive (got {capacity_bps})")

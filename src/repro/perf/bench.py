@@ -764,18 +764,31 @@ def run_benchmarks(
     }
 
 
+#: Full-tree ``repro check`` wall-clock budget.  Pre-commit and CI lean
+#: on the analyzer being interactive-fast; the two-pass project analysis
+#: (symbol table + call graph + TAINT/UNIT summaries) must stay well
+#: inside this even as the tree grows.
+STATIC_ANALYSIS_BUDGET_SECONDS = 10.0
+
+
 def _static_analysis_summary() -> Dict[str, object]:
-    """``repro check`` counts recorded alongside the perf numbers, so a
-    BENCH file also certifies whether the measured tree was lint-clean."""
+    """``repro check`` counts and wall-clock recorded alongside the perf
+    numbers, so a BENCH file also certifies whether the measured tree was
+    lint-clean and the analyzer stayed inside its time budget."""
     from repro.analysis.static import analyze_paths
 
+    start = time.perf_counter()
     report = analyze_paths()
+    seconds = time.perf_counter() - start
     return {
         "rules": len(report.rules),
         "files_checked": report.files_checked,
         "findings": len(report.findings),
         "suppressed": len(report.suppressed),
         "counts": dict(sorted(report.counts.items())),
+        "seconds": seconds,
+        "budget_seconds": STATIC_ANALYSIS_BUDGET_SECONDS,
+        "within_budget": seconds <= STATIC_ANALYSIS_BUDGET_SECONDS,
     }
 
 

@@ -105,6 +105,7 @@ import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import CallbackError, SimulationError, WatchdogExceeded
+from repro.units import Seconds
 
 __all__ = ["Simulator", "Event", "PeriodicTimer", "Watchdog"]
 
@@ -334,7 +335,7 @@ class Simulator:
     # ------------------------------------------------------------------
     # Scheduling primitives
     # ------------------------------------------------------------------
-    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+    def schedule(self, delay: Seconds, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
 
         ``delay`` must be non-negative; a zero delay runs the callback
@@ -344,7 +345,7 @@ class Simulator:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         return self.at(self.now + delay, fn, *args)
 
-    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+    def at(self, time: Seconds, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
         if time < self.now:
             raise ValueError(
@@ -364,7 +365,7 @@ class Simulator:
             _heappush(self._heap, ev)
         return ev
 
-    def call_later(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+    def call_later(self, delay: Seconds, fn: Callable[..., Any], *args: Any) -> None:
         """Fire-and-forget :meth:`schedule`: no handle, pooled ``Event``.
 
         Identical (time, seq) semantics to :meth:`schedule`, but the
@@ -405,7 +406,7 @@ class Simulator:
         else:
             _heappush(self._heap, ev)
 
-    def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+    def call_at(self, time: Seconds, fn: Callable[..., Any], *args: Any) -> None:
         """Fire-and-forget :meth:`at`: no handle, pooled ``Event``."""
         if time < self.now:
             raise ValueError(
@@ -638,7 +639,7 @@ class Simulator:
         return next(self._seq)
 
     def at_reserved(
-        self, time: float, seq: int, fn: Callable[..., Any], *args: Any
+        self, time: Seconds, seq: int, fn: Callable[..., Any], *args: Any
     ) -> Event:
         """Schedule an event carrying a seq from :meth:`reserve_seq`.
 
@@ -666,7 +667,7 @@ class Simulator:
         return ev
 
     def stream_schedule(
-        self, time: float, seq: int, fn: Callable[..., Any], *args: Any
+        self, time: Seconds, seq: int, fn: Callable[..., Any], *args: Any
     ) -> None:
         """Schedule a batcher continuation in the stream lane.
 
@@ -687,7 +688,7 @@ class Simulator:
             )
         heapq.heappush(self._streams, (time, seq, fn, args))
 
-    def advance_to(self, time: float) -> None:
+    def advance_to(self, time: Seconds) -> None:
         """Move the clock forward inside a callback, absorbing one event.
 
         This is the event-batching primitive: a component that has proven
@@ -724,10 +725,10 @@ class Simulator:
 
     def every(
         self,
-        interval: float,
+        interval: Seconds,
         fn: Callable[..., Any],
         *args: Any,
-        start_delay: Optional[float] = None,
+        start_delay: Optional[Seconds] = None,
     ) -> "PeriodicTimer":
         """Run ``fn(*args)`` every ``interval`` seconds until cancelled.
 
@@ -743,7 +744,7 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, until: float) -> None:
+    def run(self, until: Seconds) -> None:
         """Process events in timestamp order until the clock reaches ``until``.
 
         The clock is left exactly at ``until`` so back-to-back ``run`` calls

@@ -473,13 +473,15 @@ class TestRunner:
         assert set(payload) == {
             "schema",
             "files_checked",
+            "files_analyzed",
             "rules",
             "counts",
             "findings",
             "suppressed",
         }
-        assert payload["schema"] == JSON_SCHEMA_VERSION == 1
+        assert payload["schema"] == JSON_SCHEMA_VERSION == 2
         assert payload["files_checked"] == 1
+        assert payload["files_analyzed"] == 1
         assert set(payload["counts"]) == set(payload["rules"]) == set(RULES)
         (finding,) = [f for f in payload["findings"] if f["rule"] == "DET"]
         assert set(finding) == {"rule", "severity", "path", "line", "col", "message"}
@@ -503,7 +505,7 @@ class TestRunner:
         out = StringIO()
         run_check([str(bad)], output_format="json", out=out)
         payload = json.loads(out.getvalue())
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
 
     def test_pycache_skipped_and_order_stable(self, tmp_path):
         self._write_fixture(tmp_path, "repro/sim/bad.py")

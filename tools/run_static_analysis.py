@@ -4,8 +4,13 @@
 Two phases, one exit code:
 
 1. **Domain rules** — run the :mod:`repro.analysis.static` rules
-   (DET/ORD/PROB/SCHED/PICKLE/FLOAT) over ``src/repro``; any unsuppressed
-   finding fails the build.
+   (DET/ORD/PROB/SCHED/PICKLE/FLOAT/OBS plus the project-wide TAINT and
+   UNIT) over ``src/repro`` and gate the per-rule counts against the
+   findings baseline ``tools/findings_baseline.json`` (new findings fail;
+   counts below a ceiling auto-lower it — the ratchet only tightens).
+   ``--update-findings-baseline`` rewrites the baseline with the measured
+   counts; ``--require-baseline`` also fails when the baseline file is
+   missing.
 2. **Typing** — run mypy over ``src/repro`` using the ``[tool.mypy]``
    configuration in ``pyproject.toml`` (strict-level flags for
    ``repro.sim`` / ``repro.aqm`` / ``repro.metrics``, lenient elsewhere)
@@ -41,20 +46,30 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RATCHET_PATH = REPO_ROOT / "tools" / "mypy_ratchet.json"
+FINDINGS_BASELINE_PATH = REPO_ROOT / "tools" / "findings_baseline.json"
 
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 
-def run_domain_rules(output_format: str) -> int:
-    """Phase 1: the repro check rules; returns the number of findings."""
-    from repro.analysis.static import analyze_paths
+def run_domain_rules(
+    output_format: str,
+    update_baseline: bool = False,
+    require_baseline: bool = False,
+) -> int:
+    """Phase 1: repro check rules gated by the findings baseline."""
+    from repro.analysis.static import analyze_paths, apply_baseline
 
     report = analyze_paths([REPO_ROOT / "src" / "repro"])
     if output_format == "json":
         print(json.dumps(report.to_json(), indent=2, sort_keys=True))
     else:
         print(report.format_human())
-    return len(report.findings)
+    return apply_baseline(
+        report,
+        FINDINGS_BASELINE_PATH,
+        update=update_baseline,
+        require=require_baseline,
+    )
 
 
 def run_mypy(update_ratchet: bool, require_baseline: bool = False) -> int:
@@ -115,15 +130,22 @@ def main(argv=None) -> int:
                         help="rewrite tools/mypy_ratchet.json with the "
                              "measured mypy error count")
     parser.add_argument("--require-baseline", action="store_true",
-                        help="fail (instead of report-only) when the ratchet "
-                             "has no recorded baseline")
+                        help="fail (instead of report-only) when the mypy "
+                             "ratchet or findings baseline is missing")
+    parser.add_argument("--update-findings-baseline", action="store_true",
+                        help="rewrite tools/findings_baseline.json with the "
+                             "measured per-rule finding counts")
     args = parser.parse_args(argv)
 
-    findings = run_domain_rules(args.output_format)
+    findings_rc = run_domain_rules(
+        args.output_format,
+        update_baseline=args.update_findings_baseline,
+        require_baseline=args.require_baseline,
+    )
     mypy_rc = 0 if args.skip_mypy else run_mypy(
         args.update_ratchet, require_baseline=args.require_baseline
     )
-    return 1 if findings or mypy_rc else 0
+    return 1 if findings_rc or mypy_rc else 0
 
 
 if __name__ == "__main__":
