@@ -155,6 +155,21 @@ def test_shared_cache_single_flight():
     )
 
 
+def test_figure_resume_matches_bit_exact():
+    """Journaled and resumed figure runs must reproduce the plain rows
+    byte-for-byte, and journaling must cost <5% (or <0.5s absolute)."""
+    from repro.perf import bench_figure_resume
+
+    record = bench_figure_resume(scale=0.1)
+    assert record.extra["matches_serial"] is True
+    assert record.extra["matches_resume"] is True
+    assert record.extra["journal_overhead_ok"] is True
+    assert record.extra["cells"] == 2
+    assert record.extra["replayed"] == 2
+    assert record.extra["resume_executed"] == 0
+    assert record.extra["journal_bytes"] > 0
+
+
 def test_journal_overhead_within_gate():
     """Per-cell fsync'd journaling must cost <5% (or <0.5s absolute)."""
     from repro.perf import bench_supervised
@@ -181,6 +196,7 @@ def test_bench_payload_shape(tmp_path=None):
         "grid_cache_cold",
         "grid_cache_warm",
         "grid_supervised",
+        "figure_resume",
         "scheduler",
         "shared_cache",
     } <= names
@@ -193,6 +209,9 @@ def test_bench_payload_shape(tmp_path=None):
     assert by_name["grid_supervised"]["matches_serial"] is True
     assert by_name["grid_supervised"]["matches_resume"] is True
     assert by_name["grid_supervised"]["journal_overhead_ok"] is True
+    assert by_name["figure_resume"]["matches_serial"] is True
+    assert by_name["figure_resume"]["matches_resume"] is True
+    assert by_name["figure_resume"]["journal_overhead_ok"] is True
     assert by_name["scheduler"]["matches_heap"] is True
     assert by_name["scheduler"]["speedup_vs_heap"] > 0
     assert by_name["shared_cache"]["single_flight_ok"] is True
@@ -213,6 +232,7 @@ def main() -> int:
     test_shared_cache_single_flight()
     test_supervised_matches_serial_bit_exact()
     test_journal_resume_matches_uninterrupted_bit_exact()
+    test_figure_resume_matches_bit_exact()
     payload = run_benchmarks(quick=True)
     print(format_bench_table(payload))
     path = write_bench_json(payload)

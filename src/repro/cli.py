@@ -151,6 +151,9 @@ def _build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--resume", action="store_true",
                       help="replay cells already in --journal instead of "
                            "re-simulating them (bit-exact)")
+    grid.add_argument("--compact-every", type=int, default=None, metavar="N",
+                      help="rewrite the journal (latest record per key) "
+                           "after every N appends")
     grid.add_argument("--task-timeout", type=float, default=None, metavar="S",
                       help="kill and retry any cell running longer than S "
                            "wall-clock seconds")
@@ -178,6 +181,25 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--scale", type=float, default=1.0,
                         help="duration multiplier (1 = quick defaults)")
     figure.add_argument("--csv", metavar="PATH", help="also write rows as CSV")
+    figure.add_argument("--journal", metavar="DIR",
+                        help="append each completed cell to a crash-safe "
+                             "journal (<DIR>/<figure>.journal, fsync'd per "
+                             "cell)")
+    figure.add_argument("--resume", action="store_true",
+                        help="replay cells already in --journal instead of "
+                             "re-simulating them (bit-exact)")
+    figure.add_argument("--task-timeout", type=float, default=None,
+                        metavar="S",
+                        help="run each cell in a supervised worker and kill/"
+                             "retry it past S wall-clock seconds")
+    figure.add_argument("--heartbeat-timeout", type=float, default=None,
+                        metavar="S",
+                        help="kill and retry a cell's worker silent for S "
+                             "seconds (implies supervised execution)")
+    figure.add_argument("--compact-every", type=int, default=None,
+                        metavar="N",
+                        help="rewrite the journal (latest record per key) "
+                             "after every N appends")
     _add_perf_options(figure)
     _add_trace_options(figure)
 
@@ -339,17 +361,44 @@ def _cmd_list(out) -> int:
     return 0
 
 
+def _check_compact_every(args) -> None:
+    """Reject a nonpositive ``--compact-every`` as configuration, not as
+    a :class:`~repro.errors.JournalError` traceback from the journal."""
+    value = getattr(args, "compact_every", None)
+    if value is not None and value < 1:
+        from repro.errors import ConfigError
+
+        raise ConfigError(
+            f"--compact-every must be a positive append count (got {value})"
+        )
+
+
 def _cmd_figure(args, out) -> int:
     from repro.harness.figures import generate_figure
 
+    _check_compact_every(args)
+
+    supervisor = None
+    if args.task_timeout is not None or args.heartbeat_timeout is not None:
+        from repro.harness.supervisor import SupervisorConfig
+
+        supervisor = SupervisorConfig(
+            task_timeout=args.task_timeout,
+            heartbeat_timeout=args.heartbeat_timeout,
+        )
     cache = _make_cache(args)
     tracer = _make_tracer(args)
     if cache is not None and tracer is not None:
         cache.set_tracer(tracer)
     data = generate_figure(args.name, scale=args.scale, jobs=args.jobs,
-                           cache=cache, tracer=tracer)
+                           cache=cache, tracer=tracer,
+                           journal=args.journal, resume=args.resume,
+                           supervisor=supervisor,
+                           compact_every=args.compact_every)
     _close_tracer(tracer, out)
     print(data.table(), file=out)
+    if data.report is not None and (args.journal or supervisor is not None):
+        print(f"figure: {data.report.summary()}", file=out)
     if cache is not None and (cache.stats.hits or cache.stats.stores):
         print(f"cache: {cache.stats} ({cache.root})", file=out)
     if args.csv:
@@ -503,30 +552,43 @@ def _cmd_grid(args, out) -> int:
             heartbeat_timeout=args.heartbeat_timeout,
             max_retries=args.max_retries,
         )
+    _check_compact_every(args)
+    journal = args.journal
+    own_journal = None
+    if args.journal is not None and args.compact_every is not None:
+        from repro.harness.journal import ResultJournal
+
+        journal = own_journal = ResultJournal(
+            args.journal, compact_every=args.compact_every
+        )
     cache = _make_cache(args)
     tracer = _make_tracer(args)
     if cache is not None and tracer is not None:
         cache.set_tracer(tracer)
-    outcome = run_coexistence_grid(
-        FACTORIES[args.aqm](),
-        cc_a=args.cc_a,
-        cc_b=args.cc_b,
-        links_mbps=links,
-        rtts_ms=rtts,
-        duration=args.duration,
-        warmup=min(10.0, args.duration / 2),
-        seed=args.seed,
-        on_error=args.on_error,
-        max_retries=args.max_retries,
-        jobs=args.jobs,
-        cache=cache,
-        supervised=supervised,
-        supervisor=supervisor,
-        journal=args.journal,
-        resume=args.resume,
-        scheduler=args.scheduler,
-        tracer=tracer,
-    )
+    try:
+        outcome = run_coexistence_grid(
+            FACTORIES[args.aqm](),
+            cc_a=args.cc_a,
+            cc_b=args.cc_b,
+            links_mbps=links,
+            rtts_ms=rtts,
+            duration=args.duration,
+            warmup=min(10.0, args.duration / 2),
+            seed=args.seed,
+            on_error=args.on_error,
+            max_retries=args.max_retries,
+            jobs=args.jobs,
+            cache=cache,
+            supervised=supervised,
+            supervisor=supervisor,
+            journal=journal,
+            resume=args.resume,
+            scheduler=args.scheduler,
+            tracer=tracer,
+        )
+    finally:
+        if own_journal is not None:
+            own_journal.close()
     _close_tracer(tracer, out)
     rows = [
         (

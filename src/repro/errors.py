@@ -43,6 +43,7 @@ __all__ = [
     "InvariantViolation",
     "ControllerDivergence",
     "ParallelExecutionError",
+    "FigureGenerationError",
     "SupervisorError",
     "JournalError",
 ]
@@ -169,6 +170,36 @@ class ParallelExecutionError(ReproError):
         component: Optional[str] = None,
     ):
         super().__init__(message)
+        self.label = label
+        self.error_type = error_type
+        self.sim_time = sim_time
+        self.component = component
+
+
+class FigureGenerationError(ReproError):
+    """A simulation-backed figure cell failed to produce a result.
+
+    Figure cells run through the sweep machinery, which reports worker
+    failures as structured :class:`~repro.harness.parallel.RunFailure`
+    records rather than exceptions.  The figure pipeline converts such a
+    record into this error so a broken cell fails *at the cell*, with the
+    figure name, the cell's label, the worker-side exception type and the
+    virtual time of death — instead of handing ``None`` to plotting code
+    that crashes later with an unrelated ``AttributeError``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        figure: Optional[str] = None,
+        label: Optional[str] = None,
+        error_type: Optional[str] = None,
+        sim_time: Optional[float] = None,
+        component: Optional[str] = None,
+    ):
+        super().__init__(message)
+        self.figure = figure
         self.label = label
         self.error_type = error_type
         self.sim_time = sim_time

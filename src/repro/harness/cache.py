@@ -424,6 +424,38 @@ class SharedResultCache(ResultCache):
         except OSError:
             pass
 
+    def in_flight(self, key: str) -> bool:
+        """True when another process currently holds ``key``'s compute lock.
+
+        A non-blocking scheduling probe: the per-key ``flock`` is tried
+        and — if it was free — released immediately, so the probe never
+        waits and never changes which process wins an ongoing
+        computation.  Schedulers use it to submit in-flight cells *last*:
+        a fleet regenerating the same figure then spends its workers on
+        cells nobody else has claimed yet, and by the time the deferred
+        cells come up the winner has usually published and they resolve
+        as plain cache hits.  The answer is advisory (the lock state can
+        change the instant this returns), which is fine — a stale answer
+        costs at worst one ordinary wait in :meth:`fetch_or_compute`.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            return False
+        lock_path = self._lock_path(key)
+        try:
+            fd = os.open(lock_path, os.O_WRONLY)
+        except OSError:
+            # No lock file yet (or unreadable): nobody can be holding it.
+            return False
+        try:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                return True
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            return False
+        finally:
+            os.close(fd)
+
     def fetch_or_compute(
         self, key: str, compute: Callable[[], Optional[FrozenResult]]
     ) -> Optional[FrozenResult]:

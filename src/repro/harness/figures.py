@@ -9,6 +9,21 @@ moderate default durations so a figure is obtainable in seconds-to-a-
 minute from the command line, with a ``scale`` knob to trade time for
 smoothness.
 
+Crash safety
+------------
+Simulation-backed figures run their cells through a
+:class:`FigureRunner`, which gives the figure pipeline the same
+robustness stack as grid sweeps: a crash-safe
+:class:`~repro.harness.journal.ResultJournal` (``journal=`` — every
+completed cell is fsync'd as it finishes), bit-exact resume
+(``resume=True`` replays journaled cells instead of re-simulating),
+optional supervised execution (``supervisor=`` — per-cell watchdogged
+worker processes), and shared-cache-aware scheduling (cells another
+process is already computing are deferred, so a fleet regenerating the
+same figure computes each cell once).  A failing cell raises
+:class:`~repro.errors.FigureGenerationError` naming the figure, the
+cell and the virtual time of death.
+
 Example
 -------
 >>> from repro.harness.figures import FIGURES
@@ -19,14 +34,16 @@ Example
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.analysis.bode import margins_reno_pi, margins_reno_pi2, margins_reno_pie, margins_scal_pi
 from repro.analysis.fluid import PAPER_PI2_GAINS, PAPER_PIE_GAINS, PAPER_SCAL_GAINS
 from repro.aqm.tune_table import tune_table_rows
+from repro.errors import ConfigError, FigureGenerationError
 from repro.harness.experiment import run_experiment
 from repro.harness.factories import coupled_factory, pi2_factory, pi_factory, pie_factory
 from repro.harness.scenarios import (
@@ -39,7 +56,57 @@ from repro.harness.scenarios import (
 )
 from repro.harness.sweep import format_table, run_mix_sweep
 
-__all__ = ["FigureData", "FIGURES", "generate_figure"]
+__all__ = [
+    "FigureData",
+    "FigureRunReport",
+    "FigureRunner",
+    "FIGURES",
+    "MIN_STAGE_SECONDS",
+    "generate_figure",
+]
+
+#: Shortest per-stage window the staged-intensity figures accept.  Below
+#: this the settle offset and the averaging window collapse into nothing
+#: and every per-stage statistic would be NaN.
+MIN_STAGE_SECONDS = 0.5
+
+
+@dataclass
+class FigureRunReport:
+    """How one figure's simulation cells were produced.
+
+    ``executed`` cells were simulated, ``replayed`` came from the
+    journal (resume), ``cache_hits`` from the result cache,
+    ``journal_appends``/``compactions`` describe journal activity, and
+    ``deferred`` counts scheduling decisions that postponed a cell
+    another process held in flight in the shared cache.  ``torn_journal``
+    is True when resume found (and tolerated) a crash-torn final record.
+    """
+
+    figure: str = ""
+    executed: int = 0
+    replayed: int = 0
+    cache_hits: int = 0
+    journal_appends: int = 0
+    compactions: int = 0
+    deferred: int = 0
+    torn_journal: bool = False
+
+    def summary(self) -> str:
+        """One-line counter summary for CLI output."""
+        parts = [
+            f"executed={self.executed}",
+            f"replayed={self.replayed}",
+            f"cache_hits={self.cache_hits}",
+            f"journal_appends={self.journal_appends}",
+        ]
+        if self.compactions:
+            parts.append(f"compactions={self.compactions}")
+        if self.deferred:
+            parts.append(f"deferred={self.deferred}")
+        if self.torn_journal:
+            parts.append("torn_journal=yes")
+        return " ".join(parts)
 
 
 @dataclass
@@ -50,6 +117,7 @@ class FigureData:
     headers: List[str]
     rows: List[Tuple]
     note: str = ""
+    report: Optional[FigureRunReport] = None
 
     def table(self) -> str:
         """Render headers + rows as an aligned text table."""
@@ -57,11 +125,11 @@ class FigureData:
         return format_table(self.headers, self.rows, title=title)
 
     def to_csv(self, path) -> None:
-        """Write the figure's rows to ``path`` as CSV."""
+        """Write the figure's rows to ``path`` as CSV (always UTF-8)."""
         import csv
         from pathlib import Path
 
-        with Path(path).open("w", newline="") as handle:
+        with Path(path).open("w", newline="", encoding="utf-8") as handle:
             writer = csv.writer(handle)
             writer.writerow(self.headers)
             writer.writerows(self.rows)
@@ -71,26 +139,209 @@ def _gm(m):
     return float("nan") if m.gain_margin_db is None else m.gain_margin_db
 
 
-def _run_one(exp, cache=None, tracer=None):
-    """Run a single figure experiment, optionally through the result cache.
+class FigureRunner:
+    """Execution context shared by every simulation cell of one figure.
 
-    With a cache the run is routed through the sweep executor so the
-    figure's cells are stored/reused exactly like grid cells (and the
-    returned object is a frozen result — same metric API).  ``tracer``
-    observes the run (AQM/engine events plus harness spans) without
-    changing its result.
+    Bundles the knobs that used to be threaded positionally through each
+    generator (``jobs``/``cache``/``tracer``) with the crash-safety
+    stack: ``journal`` (a :class:`~repro.harness.journal.ResultJournal`)
+    records each completed cell durably; ``resume=True`` replays
+    journaled cells bit-exactly; ``supervisor`` (a
+    :class:`~repro.harness.supervisor.SupervisorConfig`) runs each cell
+    in a watchdogged worker process.  The runner tallies what happened
+    in :attr:`report`.
+
+    With none of those set, :meth:`run_cell` is the plain in-process
+    path — the tracer sees AQM/engine events and results are
+    bit-identical to what the generators always produced.
     """
-    if cache is None:
-        return run_experiment(exp, tracer=tracer)
-    from repro.harness.parallel import SweepTask, execute_tasks
 
-    (result, _failure), = execute_tasks(
-        [SweepTask("figure run", exp)], jobs=1, cache=cache, tracer=tracer
-    )
-    return result
+    def __init__(self, figure: str, jobs=None, cache=None, tracer=None,
+                 journal=None, resume: bool = False, supervisor=None):
+        if resume and journal is None:
+            raise ConfigError("resume=True requires a journal")
+        self.figure = figure
+        self.jobs = jobs
+        self.cache = cache
+        self.tracer = tracer
+        self.journal = journal
+        self.resume = resume
+        self.supervisor = supervisor
+        self.report = FigureRunReport(figure=figure)
+        self._emit = tracer.emit if tracer is not None else None
+        self._replay: Dict[str, object] = {}
+        if resume and journal is not None:
+            replay = journal.read()
+            self._replay = replay.replay_map()
+            self.report.torn_journal = replay.torn
+
+    # -- single cells ----------------------------------------------------
+    def run_cell(self, label: str, experiment):
+        """Produce one cell: journal replay → cache → execute (+ append).
+
+        Raises :class:`~repro.errors.FigureGenerationError` when the
+        cell fails, carrying the figure name, the cell label and the
+        worker-side error type / sim-time — a broken cell fails *here*,
+        not later in plotting code handed a ``None``.
+        """
+        if (self.cache is None and self.journal is None
+                and self.supervisor is None):
+            # Plain path: in-process run; the tracer sees AQM/engine
+            # events and simulation errors propagate with their own
+            # sim-time context.
+            self.report.executed += 1
+            return run_experiment(experiment, tracer=self.tracer)
+
+        from repro.harness.cache import experiment_cache_key
+
+        key = experiment_cache_key(experiment)
+        if key is not None and key in self._replay:
+            self.report.replayed += 1
+            self._emit_cell(label, "hit")
+            return self._replay[key]
+        if (self.cache is not None and key is not None
+                and self.supervisor is None):
+            hit = self.cache.get(key)
+            if hit is not None:
+                self.report.cache_hits += 1
+                if self._emit is not None:
+                    self._emit("harness", "cache_hit", 0.0, {"label": label})
+                self._journal_append(key, label, hit)
+                self._emit_cell(label, self._journal_state(key))
+                return hit
+        result = self._execute(label, experiment)
+        self._journal_append(key, label, result)
+        self._emit_cell(label, self._journal_state(key))
+        return result
+
+    def _execute(self, label: str, experiment):
+        """Run one cell through the sweep machinery; raise on failure."""
+        from repro.harness.parallel import SweepTask, execute_tasks
+
+        task = SweepTask(label, experiment)
+        if self.supervisor is not None:
+            from repro.harness.supervisor import run_supervised_tasks
+
+            pairs, sub = run_supervised_tasks(
+                [task], jobs=1, on_error="capture", cache=self.cache,
+                supervisor=self.supervisor, tracer=self.tracer,
+            )
+            self.report.executed += sub.executed
+            self.report.cache_hits += sub.cache_hits
+            self.report.deferred += sub.deferred
+            result, failure = pairs[0]
+        else:
+            # max_retries=0: a figure presents specific seeds, so a
+            # failing cell must fail loudly rather than be silently
+            # retried on a bumped seed (sweeps may choose otherwise).
+            (result, failure), = execute_tasks(
+                [task], jobs=1, on_error="capture", max_retries=0,
+                cache=self.cache, tracer=self.tracer,
+            )
+            if result is not None:
+                self.report.executed += 1
+        if result is None:
+            raise self._cell_error(label, failure)
+        return result
+
+    def _cell_error(self, label: str, failure) -> FigureGenerationError:
+        if failure is None:
+            return FigureGenerationError(
+                f"figure {self.figure} cell {label!r} produced no result "
+                f"and no failure report",
+                figure=self.figure, label=label,
+            )
+        where = []
+        if failure.sim_time is not None:
+            where.append(f"t={failure.sim_time:.6f}s")
+        if failure.component:
+            where.append(f"component={failure.component}")
+        suffix = f" [{' '.join(where)}]" if where else ""
+        return FigureGenerationError(
+            f"figure {self.figure} cell {label!r} failed: "
+            f"{failure.error_type}: {failure.error}{suffix}",
+            figure=self.figure,
+            label=label,
+            error_type=failure.error_type,
+            sim_time=failure.sim_time,
+            component=failure.component,
+        )
+
+    # -- journal ---------------------------------------------------------
+    def _journal_append(self, key: Optional[str], label: str, result) -> None:
+        if self.journal is None or key is None:
+            return
+        started = time.monotonic()
+        self.journal.append(key, label, result)
+        self.report.journal_appends += 1
+        if self._emit is not None:
+            self._emit("harness", "journal_append", 0.0, {
+                "label": label,
+                "seconds": time.monotonic() - started,
+            })
+
+    def _journal_state(self, key: Optional[str]) -> str:
+        return "append" if (self.journal is not None and key is not None) \
+            else "miss"
+
+    def _emit_cell(self, label: str, journal_state: str) -> None:
+        """One ``figure_cell`` span per cell, carrying journal hit/miss."""
+        if self._emit is not None:
+            self._emit("harness", "figure_cell", 0.0, {
+                "figure": self.figure,
+                "label": label,
+                "journal": journal_state,
+            })
+
+    # -- sweep-backed figures (fig15/fig19) ------------------------------
+    def sweep_kwargs(self) -> dict:
+        """Forward this runner's execution context to the sweep APIs."""
+        kwargs: dict = dict(jobs=self.jobs, cache=self.cache,
+                            tracer=self.tracer)
+        if self.journal is not None:
+            kwargs["journal"] = self.journal
+            kwargs["resume"] = self.resume
+        if self.supervisor is not None:
+            kwargs["supervisor"] = self.supervisor
+        return kwargs
+
+    def absorb(self, outcome) -> None:
+        """Fold a sweep's ``recovery`` report into this figure's report."""
+        recovery = getattr(outcome, "recovery", None)
+        if recovery is None:
+            return
+        self.report.executed += recovery.executed
+        self.report.replayed += recovery.replayed
+        self.report.cache_hits += recovery.cache_hits
+        self.report.journal_appends += recovery.journal_appends
+        self.report.deferred += recovery.deferred
+        self.report.torn_journal = (
+            self.report.torn_journal or recovery.torn_journal
+        )
+
+    def finish(self) -> None:
+        """Final accounting: journal compactions + one ``figure_done`` span."""
+        if self.journal is not None:
+            self.report.compactions = self.journal.compactions
+        if self._emit is not None:
+            self._emit("harness", "figure_done", 0.0, {
+                "figure": self.figure,
+                "executed": self.report.executed,
+                "replayed": self.report.replayed,
+                "journal_appends": self.report.journal_appends,
+            })
 
 
-def fig04(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
+def _ensure_runner(figure: str, runner, jobs, cache, tracer) -> FigureRunner:
+    """Figure functions accept a full runner (from :func:`generate_figure`)
+    or the legacy ``jobs``/``cache``/``tracer`` trio (direct calls)."""
+    if runner is not None:
+        return runner
+    return FigureRunner(figure, jobs=jobs, cache=cache, tracer=tracer)
+
+
+def fig04(scale: float = 1.0, jobs=None, cache=None, tracer=None,
+          runner=None) -> FigureData:
     """Bode gain margins for PI on Reno: auto vs fixed tunes."""
     rows = []
     for p in (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 0.5, 1.0):
@@ -108,7 +359,8 @@ def fig04(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
     )
 
 
-def fig05(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
+def fig05(scale: float = 1.0, jobs=None, cache=None, tracer=None,
+          runner=None) -> FigureData:
     """PIE's stepped tune factor vs the analytic √(2p)."""
     rows = [(p, t, s) for p, t, s in tune_table_rows(points_per_decade=2)]
     return FigureData(
@@ -117,7 +369,8 @@ def fig05(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
     )
 
 
-def fig07(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
+def fig07(scale: float = 1.0, jobs=None, cache=None, tracer=None,
+          runner=None) -> FigureData:
     """Bode margins for reno-PIE / reno-PI2 / scal-PI."""
     rows = []
     for pp in (0.001, 0.01, 0.1, 0.3, 0.6, 1.0):
@@ -135,11 +388,34 @@ def fig07(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
     )
 
 
+def _stage_warmup(stage: float) -> float:
+    """Settle time skipped at the head of each stage before averaging.
+
+    The paper-scale stages (≥ 8 s) skip a fixed 1 s of transient; short
+    CLI runs shrink the offset proportionally so the averaging window
+    never empties (a fixed 1 s offset past the stage end fed
+    ``np.mean`` an empty slice → NaN rows below ``scale = 0.125``).
+    """
+    return min(1.0, stage / 8.0)
+
+
+def _require_min_stage(figure: str, stage: float, scale: float) -> None:
+    """Reject stage lengths too short for per-stage statistics."""
+    if stage < MIN_STAGE_SECONDS:
+        min_scale = scale * MIN_STAGE_SECONDS / stage
+        raise ConfigError(
+            f"{figure}: stage length {stage:.3g}s (scale={scale:.3g}) is "
+            f"below the {MIN_STAGE_SECONDS}s minimum for per-stage delay "
+            f"statistics; use scale >= {min_scale:.3g}"
+        )
+
+
 def _stage_rows(results, stage, flows):
+    warmup = _stage_warmup(stage)
     rows = []
     for name, r in results.items():
         for s in range(5):
-            t0, t1 = s * stage + 1.0, (s + 1) * stage
+            t0, t1 = s * stage + warmup, (s + 1) * stage
             qd = r.queue_delay.window(t0, t1)
             rows.append(
                 (name, f"{s + 1} ({flows[s]} flows)",
@@ -148,15 +424,18 @@ def _stage_rows(results, stage, flows):
     return rows
 
 
-def fig06(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
+def fig06(scale: float = 1.0, jobs=None, cache=None, tracer=None,
+          runner=None) -> FigureData:
     """Un-tuned PI vs PI2 under varying intensity at 100 Mb/s, 10 ms."""
+    runner = _ensure_runner("fig06", runner, jobs, cache, tracer)
     stage = 8.0 * scale
+    _require_min_stage("fig06", stage, scale)
     results = {}
     for name, factory in (("pi", pi_factory()), ("pi2", pi2_factory())):
         exp = varying_intensity(factory, capacity_bps=100 * MBPS, rtt=0.010,
                                 stage=stage)
         exp.sample_period = 0.1
-        results[name] = _run_one(exp, cache, tracer)
+        results[name] = runner.run_cell(name, exp)
     return FigureData(
         "Figure 6", ["aqm", "stage", "q mean [ms]", "q peak [ms]"],
         _stage_rows(results, stage, [10, 30, 50, 30, 10]),
@@ -164,8 +443,10 @@ def fig06(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
     )
 
 
-def fig11(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
+def fig11(scale: float = 1.0, jobs=None, cache=None, tracer=None,
+          runner=None) -> FigureData:
     """Queue delay and throughput under three traffic loads."""
+    runner = _ensure_runner("fig11", runner, jobs, cache, tracer)
     duration = 30.0 * scale
     rows = []
     scenarios = {
@@ -173,7 +454,9 @@ def fig11(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
     }
     for label, scenario in scenarios.items():
         for name, factory in (("pie", pie_factory()), ("pi2", pi2_factory())):
-            r = _run_one(scenario(factory, duration=duration), cache, tracer)
+            r = runner.run_cell(
+                f"{label}/{name}", scenario(factory, duration=duration)
+            )
             soj = r.sojourn_samples()
             rows.append(
                 (label, name, float(np.mean(soj)) * 1e3,
@@ -186,19 +469,25 @@ def fig11(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
     )
 
 
-def fig12(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
+def fig12(scale: float = 1.0, jobs=None, cache=None, tracer=None,
+          runner=None) -> FigureData:
     """Queue delay through capacity steps 100:20:100 Mb/s."""
+    runner = _ensure_runner("fig12", runner, jobs, cache, tracer)
     stage = 15.0 * scale
+    # The transient windows around each capacity step settle for 5 s at
+    # paper scale (stage = 15 s); shrink them with the stage so short
+    # runs keep non-empty windows (stage/3 == 5 s exactly at scale 1).
+    settle = min(5.0, stage / 3.0)
     rows = []
     for name, factory in (("pie", pie_factory()), ("pi2", pi2_factory())):
         exp = varying_capacity(factory, stage=stage)
         exp.sample_period = 0.1
-        r = _run_one(exp, cache, tracer)
+        r = runner.run_cell(name, exp)
         rows.append(
             (name,
-             r.queue_delay.max(stage, stage + 5.0) * 1e3,
-             r.queue_delay.mean(stage + 5.0, 2 * stage) * 1e3,
-             r.queue_delay.max(2 * stage, 2 * stage + 5.0) * 1e3)
+             r.queue_delay.max(stage, stage + settle) * 1e3,
+             r.queue_delay.mean(stage + settle, 2 * stage) * 1e3,
+             r.queue_delay.max(2 * stage, 2 * stage + settle) * 1e3)
         )
     return FigureData(
         "Figure 12", ["aqm", "peak@drop [ms]", "mean@20M [ms]", "peak@rise [ms]"],
@@ -206,15 +495,18 @@ def fig12(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
     )
 
 
-def fig13(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
+def fig13(scale: float = 1.0, jobs=None, cache=None, tracer=None,
+          runner=None) -> FigureData:
     """Varying intensity at 10 Mb/s, 100 ms RTT: PIE vs PI2."""
+    runner = _ensure_runner("fig13", runner, jobs, cache, tracer)
     stage = 12.0 * scale
+    _require_min_stage("fig13", stage, scale)
     results = {}
     for name, factory in (("pie", pie_factory()), ("pi2", pi2_factory())):
         exp = varying_intensity(factory, capacity_bps=10 * MBPS, rtt=0.100,
                                 stage=stage)
         exp.sample_period = 0.1
-        results[name] = _run_one(exp, cache, tracer)
+        results[name] = runner.run_cell(name, exp)
     return FigureData(
         "Figure 13", ["aqm", "stage", "q mean [ms]", "q peak [ms]"],
         _stage_rows(results, stage, [10, 30, 50, 30, 10]),
@@ -222,15 +514,18 @@ def fig13(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
     )
 
 
-def fig19(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
+def fig19(scale: float = 1.0, jobs=None, cache=None, tracer=None,
+          runner=None) -> FigureData:
     """Rate balance across flow-count mixes at 40 Mb/s, 10 ms."""
+    runner = _ensure_runner("fig19", runner, jobs, cache, tracer)
     duration = 25.0 * scale
     mixes = ((1, 1), (1, 9), (5, 5), (9, 1))
     rows = []
     for name, factory in (("pie", pie_factory()), ("pi2", coupled_factory())):
         sweeps = run_mix_sweep(factory, mixes=mixes, duration=duration,
                                warmup=min(10.0, duration / 2),
-                               jobs=jobs, cache=cache, tracer=tracer)
+                               **runner.sweep_kwargs())
+        runner.absorb(sweeps)
         for (n_a, n_b), result in sweeps.items():
             rows.append(
                 (name, f"A{n_a}-B{n_b}", result.balance("dctcp", "cubic"))
@@ -241,10 +536,12 @@ def fig19(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
     )
 
 
-def fig14(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
+def fig14(scale: float = 1.0, jobs=None, cache=None, tracer=None,
+          runner=None) -> FigureData:
     """Queue-delay distribution summary at 5 ms and 20 ms targets."""
     from repro.harness.experiment import Experiment, FlowGroup
 
+    runner = _ensure_runner("fig14", runner, jobs, cache, tracer)
     duration = 25.0 * scale
     rows = []
     for target in (0.005, 0.020):
@@ -252,7 +549,8 @@ def fig14(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
             ("pie", lambda t: pie_factory(target_delay=t)),
             ("pi2", lambda t: pi2_factory(target_delay=t)),
         ):
-            r = _run_one(
+            r = runner.run_cell(
+                f"{name}@{target * 1e3:.0f}ms",
                 Experiment(
                     capacity_bps=10 * MBPS,
                     duration=duration,
@@ -260,8 +558,6 @@ def fig14(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
                     aqm_factory=make(target),
                     flows=[FlowGroup(cc="reno", count=20, rtt=0.100)],
                 ),
-                cache,
-                tracer,
             )
             soj = r.sojourn_samples()
             rows.append(
@@ -276,7 +572,8 @@ def fig14(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
     )
 
 
-def fig15(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
+def fig15(scale: float = 1.0, jobs=None, cache=None, tracer=None,
+          runner=None) -> FigureData:
     """Rate balance on a reduced 3×3 coexistence grid.
 
     The full 5×5 grid with per-cell convergence budgeting lives in the
@@ -284,14 +581,16 @@ def fig15(scale: float = 1.0, jobs=None, cache=None, tracer=None) -> FigureData:
     """
     from repro.harness.sweep import run_coexistence_grid
 
+    runner = _ensure_runner("fig15", runner, jobs, cache, tracer)
     duration = 20.0 * scale
     rows = []
     for name, factory in (("pie", pie_factory()), ("pi2", coupled_factory())):
         cells = run_coexistence_grid(
             factory, links_mbps=(4, 40), rtts_ms=(10, 50),
             duration=duration, warmup=min(8.0, duration / 2),
-            jobs=jobs, cache=cache, tracer=tracer,
+            **runner.sweep_kwargs(),
         )
+        runner.absorb(cells)
         for cell in cells:
             rows.append(
                 (name, cell.link_mbps, cell.rtt_ms,
@@ -319,8 +618,35 @@ FIGURES: Dict[str, Callable[..., FigureData]] = {
 }
 
 
+def _resolve_journal(journal, name: str, compact_every: Optional[int]):
+    """Resolve the ``journal`` argument into (ResultJournal|None, owned).
+
+    A path names a *directory* holding one journal per figure
+    (``<dir>/<name>.journal``) so a fleet can share one ``--journal``
+    flag across figures; a ready-made
+    :class:`~repro.harness.journal.ResultJournal` is used as-is (and not
+    closed — the caller owns it).
+    """
+    from repro.harness.journal import ResultJournal
+
+    if journal is None:
+        return None, False
+    if isinstance(journal, ResultJournal):
+        return journal, False
+    from pathlib import Path
+
+    root = Path(journal)
+    root.mkdir(parents=True, exist_ok=True)
+    return (
+        ResultJournal(root / f"{name}.journal", compact_every=compact_every),
+        True,
+    )
+
+
 def generate_figure(
-    name: str, scale: float = 1.0, jobs=None, cache=None, tracer=None
+    name: str, scale: float = 1.0, jobs=None, cache=None, tracer=None,
+    journal=None, resume: bool = False, supervisor=None,
+    compact_every: Optional[int] = None,
 ) -> FigureData:
     """Generate one figure's data by registry name.
 
@@ -328,12 +654,38 @@ def generate_figure(
     ``cache`` (a :class:`~repro.harness.cache.ResultCache`) reuses
     already-simulated runs across invocations.  ``tracer`` (a
     :class:`~repro.obs.trace.Tracer`) observes the simulation-backed
-    figures — control-law events, engine epochs, harness spans — and is
-    guaranteed not to change any number in the returned rows.  Figures
-    that are pure analysis (fig04/05/07) ignore all three.
+    figures — control-law events, engine epochs, harness spans including
+    per-cell ``figure_cell`` events carrying journal hit/miss — and is
+    guaranteed not to change any number in the returned rows.
+
+    ``journal`` (a directory path or a
+    :class:`~repro.harness.journal.ResultJournal`) makes every completed
+    simulation cell durable as it finishes (one journal per figure name
+    under a directory); ``resume=True`` replays journaled cells instead
+    of re-simulating, so a figure run killed mid-sweep and resumed
+    returns rows bit-identical to an uninterrupted run.
+    ``supervisor`` (a :class:`~repro.harness.supervisor.SupervisorConfig`)
+    runs each cell in a watchdogged worker process with per-task
+    timeouts and heartbeat monitoring.  ``compact_every=N`` rewrites the
+    journal (latest record per key) after every N appends.  The returned
+    data carries a :class:`FigureRunReport` as ``report``.
+
+    Figures that are pure analysis (fig04/05/07) ignore all of these.
     """
     if name not in FIGURES:
         raise ValueError(f"unknown figure {name!r}; choose from {sorted(FIGURES)}")
     if scale <= 0:
         raise ValueError(f"scale must be positive (got {scale})")
-    return FIGURES[name](scale=scale, jobs=jobs, cache=cache, tracer=tracer)
+    journal_obj, owned = _resolve_journal(journal, name, compact_every)
+    runner = FigureRunner(
+        name, jobs=jobs, cache=cache, tracer=tracer,
+        journal=journal_obj, resume=resume, supervisor=supervisor,
+    )
+    try:
+        data = FIGURES[name](scale=scale, runner=runner)
+        runner.finish()
+    finally:
+        if owned and journal_obj is not None:
+            journal_obj.close()
+    data.report = runner.report
+    return data

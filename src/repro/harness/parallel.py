@@ -177,6 +177,36 @@ def _check_picklable(tasks: Sequence[SweepTask]) -> None:
             ) from exc
 
 
+def _defer_in_flight(
+    pending: List[int],
+    keys: List[Optional[str]],
+    cache: SharedResultCache,
+    emit,
+) -> List[int]:
+    """Reorder submission so in-flight cells run last (shared cache only).
+
+    Another process over the same :class:`SharedResultCache` may already
+    be computing some of these cells (its per-key lock is held).
+    Submitting those first would make our workers sleep-poll on the
+    remote winner while unclaimed cells wait behind them; submitting
+    them *last* lets the fleet compute each cell once with every worker
+    busy, and by the time the deferred cells run the winner has usually
+    published — they resolve as cache hits inside the worker.  Only the
+    submission order changes: results are reassembled by task index, so
+    the returned list (and every digest built from it) is bit-identical.
+    """
+    in_flight = [
+        i for i in pending
+        if keys[i] is not None and cache.in_flight(keys[i])
+    ]
+    if not in_flight:
+        return pending
+    deferred = set(in_flight)
+    if emit is not None:
+        emit("harness", "cache_deferred", 0.0, {"tasks": len(in_flight)})
+    return [i for i in pending if i not in deferred] + in_flight
+
+
 def execute_tasks(
     tasks: Sequence[SweepTask],
     *,
@@ -232,6 +262,8 @@ def execute_tasks(
         shared_root = (
             str(cache.root) if isinstance(cache, SharedResultCache) else None
         )
+        if shared_root is not None and len(pending) > 1:
+            pending = _defer_in_flight(pending, keys, cache, emit)
         payloads = [
             (tasks[i].experiment, tasks[i].label, on_error, max_retries, shared_root)
             for i in pending

@@ -146,7 +146,9 @@ class SupervisorReport:
     ``cache_hits`` cells filled from the result cache, ``executed``
     cells actually simulated, and ``journal_appends`` records durably
     written.  ``heartbeats`` counts heartbeat messages observed — proof
-    the liveness channel was active during the run.
+    the liveness channel was active during the run.  ``deferred`` counts
+    spawn decisions that skipped past a cell another process held in
+    flight in the shared cache (shared-cache-aware scheduling).
     """
 
     actions: List[RecoveryAction] = field(default_factory=list)
@@ -157,6 +159,7 @@ class SupervisorReport:
     executed: int = 0
     journal_appends: int = 0
     heartbeats: int = 0
+    deferred: int = 0
 
     def record(self, action: RecoveryAction) -> None:
         """Append one recovery action to the log."""
@@ -182,6 +185,7 @@ class SupervisorReport:
             "executed": self.executed,
             "journal_appends": self.journal_appends,
             "heartbeats": self.heartbeats,
+            "deferred": self.deferred,
         }
 
     def format_actions(self) -> str:
@@ -654,6 +658,35 @@ class _Supervisor:
             self._finish_success(state, result)
             return
 
+    def _next_spawn_index(self, now: float) -> Optional[int]:
+        """Pick the next queue position to spawn; None when all back off.
+
+        Eligibility is the retry backoff (``not_before``).  When the
+        result cache is a :class:`SharedResultCache`, eligible cells
+        whose key another process currently holds in flight
+        (:meth:`SharedResultCache.in_flight`) are passed over in favour
+        of unclaimed cells: the remote winner will publish the deferred
+        cell, and the pre-spawn recheck in :meth:`_spawn` then turns it
+        into a cache hit instead of a duplicate simulation.  When every
+        eligible cell is in flight, falls back to the earliest one —
+        deferral reorders work, it never starves it.
+        """
+        probe = isinstance(self.cache, SharedResultCache)
+        fallback: Optional[int] = None
+        for position, state in enumerate(self.queue):
+            if state.not_before > now:
+                continue
+            if fallback is None:
+                fallback = position
+            if not probe:
+                return position
+            key = self.keys[state.index]
+            if key is None or not self.cache.in_flight(key):
+                if position != fallback:
+                    self.report.deferred += 1
+                return position
+        return fallback
+
     # -- main loop -------------------------------------------------------
     def run(self) -> List[TaskResult]:
         """Execute every pending task; fill and return the result slots."""
@@ -666,11 +699,7 @@ class _Supervisor:
                     continue
                 now = time.monotonic()
                 while self.queue and len(self.running) < self.n_jobs:
-                    index = next(
-                        (i for i, s in enumerate(self.queue)
-                         if s.not_before <= now),
-                        None,
-                    )
+                    index = self._next_spawn_index(now)
                     if index is None:
                         break
                     if not self._spawn(ctx, self.queue.pop(index)):

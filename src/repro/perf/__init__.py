@@ -24,6 +24,7 @@ from repro.perf.bench import (
     bench_link_batching,
     bench_scheduler,
     bench_shared_cache,
+    bench_figure_resume,
     bench_supervised,
     format_bench_table,
     run_benchmarks,
@@ -40,6 +41,7 @@ __all__ = [
     "bench_scheduler",
     "bench_shared_cache",
     "bench_grid",
+    "bench_figure_resume",
     "bench_supervised",
     "run_benchmarks",
     "write_bench_json",

@@ -60,6 +60,7 @@ __all__ = [
     "bench_scheduler",
     "bench_shared_cache",
     "bench_grid",
+    "bench_figure_resume",
     "bench_supervised",
     "bench_tracing",
     "run_benchmarks",
@@ -634,6 +635,66 @@ def bench_supervised(
     )
 
 
+def bench_figure_resume(scale: float = 0.15, seed: int = 1) -> BenchRecord:
+    """Cost and correctness of the journal-backed figure pipeline.
+
+    Generates fig12 three ways — plain (the reference rows), journaled
+    (every completed cell fsync'd), and resumed from that journal — and
+    reports:
+
+    * ``journal_overhead_pct`` — wall-clock cost of journaling the
+      figure relative to the plain run, gated by ``journal_overhead_ok``
+      (≤ 5 %, with the same 0.5 s absolute-floor grace as the grid
+      journal gate).
+    * ``matches_serial`` / ``matches_resume`` — the journaled run's rows
+      and the resumed (fully replayed) run's rows must equal the plain
+      run's rows bit-for-bit.  Either being False fails ``repro bench``
+      like the other determinism gates.
+
+    ``seed`` is unused by fig12 (its cells carry fixed seeds); it is
+    accepted for signature symmetry with the other grid benchmarks.
+    """
+    from repro.harness.figures import generate_figure
+
+    del seed  # fig12's experiments embed their own fixed seeds
+
+    start = time.perf_counter()
+    plain = generate_figure("fig12", scale=scale)
+    plain_wall = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-figjournal-") as tmp:
+        start = time.perf_counter()
+        journaled = generate_figure("fig12", scale=scale, journal=tmp)
+        journal_wall = time.perf_counter() - start
+        journal_bytes = os.path.getsize(os.path.join(tmp, "fig12.journal"))
+
+        start = time.perf_counter()
+        resumed = generate_figure(
+            "fig12", scale=scale, journal=tmp, resume=True
+        )
+        resume_wall = time.perf_counter() - start
+
+    overhead = journal_wall - plain_wall
+    overhead_pct = (overhead / plain_wall * 100.0) if plain_wall > 0 else 0.0
+    overhead_ok = overhead_pct <= 5.0 or overhead <= 0.5
+    return BenchRecord(
+        "figure_resume",
+        journal_wall,
+        extra={
+            "cells": journaled.report.journal_appends,
+            "wall_seconds_plain": plain_wall,
+            "wall_seconds_resume": resume_wall,
+            "journal_overhead_pct": overhead_pct,
+            "journal_overhead_ok": overhead_ok,
+            "journal_bytes": journal_bytes,
+            "replayed": resumed.report.replayed,
+            "resume_executed": resumed.report.executed,
+            "matches_serial": journaled.rows == plain.rows,
+            "matches_resume": resumed.rows == plain.rows,
+        },
+    )
+
+
 def bench_tracing(
     duration: float = 5.0,
     repeats: int = 3,
@@ -744,6 +805,7 @@ def run_benchmarks(
             jobs=jobs, grid=QUICK_GRID if quick else FULL_GRID, seed=seed
         )
     )
+    records.append(bench_figure_resume(scale=0.15 if quick else 0.4, seed=seed))
     tracing = bench_tracing(duration=5.0 * (1 if quick else 2), seed=seed)
     # The traced run's metrics snapshot becomes the payload's top-level
     # telemetry block; the per-benchmark record keeps only the numbers.

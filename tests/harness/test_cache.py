@@ -415,3 +415,52 @@ class TestSharedSingleFlight:
         counts = SharedResultCache(tmp_path).event_counts()
         assert counts["compute"] == 1
         assert counts["wait"] == 3
+
+
+class TestInFlightProbe:
+    """``in_flight`` is the non-blocking peek behind shared-cache-aware
+    scheduling: it must see a held per-key lock without ever waiting."""
+
+    def _cache(self, tmp_path):
+        from repro.harness.cache import SharedResultCache
+
+        return SharedResultCache(tmp_path)
+
+    def test_unknown_key_is_not_in_flight(self, tmp_path):
+        cache = self._cache(tmp_path)
+        assert cache.in_flight("aa" + "0" * 62) is False
+
+    def test_held_lock_reads_as_in_flight_until_released(self, tmp_path):
+        import fcntl
+        import os
+
+        cache = self._cache(tmp_path)
+        key = "bb" + "0" * 62
+        lock_path = cache._lock_path(key)
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(lock_path, os.O_WRONLY | os.O_CREAT)
+        try:
+            assert cache.in_flight(key) is False  # file exists, unlocked
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            assert cache.in_flight(key) is True
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            assert cache.in_flight(key) is False
+        finally:
+            os.close(fd)
+
+    def test_probe_does_not_steal_the_lock(self, tmp_path):
+        """The probe's transient flock must not leave the key locked —
+        a later holder must still be able to win it immediately."""
+        import fcntl
+        import os
+
+        cache = self._cache(tmp_path)
+        key = "cc" + "0" * 62
+        lock_path = cache._lock_path(key)
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(lock_path, os.O_WRONLY | os.O_CREAT)
+        try:
+            assert cache.in_flight(key) is False
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)  # must not raise
+        finally:
+            os.close(fd)

@@ -278,6 +278,84 @@ class TestTornJournalRecovery:
         assert len(healed.records) == 3
 
 
+def _figure_worker(journal_dir: str) -> None:
+    """Child body for the mid-figure SIGKILL test (module-level so it
+    pickles by reference under the fork start method)."""
+    from repro.harness.figures import generate_figure
+
+    generate_figure("fig12", scale=0.12, journal=journal_dir)
+
+
+class TestSigkillMidFigureWithResume:
+    def test_killed_figure_run_resumes_bit_exact(self, tmp_path):
+        """The figure-pipeline tentpole end-to-end: a `repro figure` run
+        is SIGKILLed after its first cell lands in the journal; the
+        resumed run replays that cell and re-executes only the rest —
+        with rows byte-identical to an uninterrupted run."""
+        import multiprocessing
+
+        from repro.harness.figures import generate_figure
+
+        journal_dir = tmp_path / "journals"
+        journal_path = journal_dir / "fig12.journal"
+        ctx = multiprocessing.get_context("fork")
+        child = ctx.Process(target=_figure_worker, args=(str(journal_dir),))
+        child.start()
+        deadline = time.monotonic() + 60.0
+        try:
+            # Kill as soon as the first cell is durable, so the second
+            # is (almost always) still simulating.
+            while time.monotonic() < deadline:
+                if (journal_path.exists()
+                        and ResultJournal(journal_path).read().records):
+                    break
+                time.sleep(0.005)
+            else:
+                raise AssertionError("no journal record within 60s")
+        finally:
+            child.kill()
+            child.join(timeout=30.0)
+        assert child.exitcode is not None
+
+        replay = ResultJournal(journal_path).read()
+        survived = len(replay.records)
+        assert survived >= 1
+
+        clean = generate_figure("fig12", scale=0.12)
+        resumed = generate_figure(
+            "fig12", scale=0.12, journal=journal_dir, resume=True
+        )
+        assert resumed.rows == clean.rows
+        assert resumed.report.replayed == survived
+        assert resumed.report.replayed + resumed.report.executed == 2
+        # The journal now holds both cells, cleanly framed (a torn tail
+        # from the kill was truncated by the resume's first append).
+        healed = ResultJournal(journal_path).read()
+        assert len(healed.records) == 2
+        assert not healed.torn
+
+
+class TestCliFigureChaosFree:
+    def test_cli_figure_journal_resume(self, tmp_path):
+        """`repro figure --journal ... --resume` round-trips through the
+        CLI surface: the second invocation replays both cells."""
+        from io import StringIO
+
+        from repro.cli import main
+
+        argv = [
+            "figure", "fig12", "--scale", "0.12", "--no-cache",
+            "--journal", str(tmp_path / "journals"),
+        ]
+        out = StringIO()
+        assert main(argv, out=out) == 0
+        assert "journal_appends=2" in out.getvalue()
+        out2 = StringIO()
+        assert main(argv + ["--resume"], out=out2) == 0
+        assert "replayed=2" in out2.getvalue()
+        assert out2.getvalue().split("\n")[:-2] == out.getvalue().split("\n")[:-2]
+
+
 class TestCliGridChaosFree:
     def test_cli_grid_supervised_journal_resume(self, tmp_path):
         """`repro grid --journal ... --resume` round-trips through the

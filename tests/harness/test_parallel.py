@@ -201,3 +201,52 @@ class TestFrozenResults:
         assert cell.result.total_goodput_bps() > 1e6
         assert 0.0 <= cell.result.mean_utilization() <= 1.5
         assert cell.result.events_processed > 0
+
+
+class TestSharedCacheDeferral:
+    """Shared-cache-aware submission: cells another process holds in
+    flight go to the back of the queue — order only, never results."""
+
+    def _held(self, cache, key):
+        import fcntl
+        import os
+
+        lock_path = cache._lock_path(key)
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(lock_path, os.O_WRONLY | os.O_CREAT)
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        return fd
+
+    def test_in_flight_cells_submit_last(self, tmp_path):
+        import os
+
+        from repro.harness.cache import SharedResultCache
+        from repro.harness.parallel import _defer_in_flight
+
+        cache = SharedResultCache(tmp_path)
+        keys = [f"{i:02x}" + "0" * 62 for i in range(3)]
+        fd = self._held(cache, keys[0])
+        events = []
+        try:
+            order = _defer_in_flight(
+                [0, 1, 2], keys, cache,
+                lambda cat, name, t, data: events.append((name, data)),
+            )
+        finally:
+            os.close(fd)
+        assert order == [1, 2, 0]
+        assert events == [("cache_deferred", {"tasks": 1})]
+
+    def test_nothing_in_flight_keeps_order_and_emits_nothing(self, tmp_path):
+        from repro.harness.cache import SharedResultCache
+        from repro.harness.parallel import _defer_in_flight
+
+        cache = SharedResultCache(tmp_path)
+        keys = ["dd" + "0" * 62, None]
+        events = []
+        order = _defer_in_flight(
+            [0, 1], keys, cache,
+            lambda cat, name, t, data: events.append(name),
+        )
+        assert order == [0, 1]
+        assert events == []

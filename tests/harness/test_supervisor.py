@@ -313,3 +313,109 @@ class TestSweepPlumbing:
         with pytest.raises(ConfigError) as excinfo:
             execute_supervised([SweepTask("lambda-cell", exp)])
         assert "pickled" in str(excinfo.value)
+
+
+class TestSharedCacheScheduling:
+    """``_next_spawn_index`` must pass over cells another process holds
+    in flight in the shared cache — and never starve them."""
+
+    def _supervisor(self, tmp_path, n=2):
+        from repro.harness.cache import SharedResultCache
+        from repro.harness.supervisor import _Supervisor
+
+        cache = SharedResultCache(tmp_path)
+        sup = _Supervisor(
+            _tasks(n), jobs=1, on_error="capture",
+            config=SupervisorConfig(), cache=cache, journal=None,
+            report=SupervisorReport(),
+        )
+        sup.prefill(resume=False)
+        assert len(sup.queue) == n
+        return sup, cache
+
+    def _hold(self, cache, key):
+        import fcntl
+        import os
+
+        lock_path = cache._lock_path(key)
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(lock_path, os.O_WRONLY | os.O_CREAT)
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        return fd
+
+    def test_in_flight_cell_is_passed_over(self, tmp_path):
+        import os
+        import time
+
+        sup, cache = self._supervisor(tmp_path)
+        fd = self._hold(cache, sup.keys[0])
+        try:
+            assert sup._next_spawn_index(time.monotonic()) == 1
+            assert sup.report.deferred == 1
+        finally:
+            os.close(fd)
+        assert sup._next_spawn_index(time.monotonic()) == 0
+
+    def test_all_in_flight_falls_back_to_earliest(self, tmp_path):
+        import os
+        import time
+
+        sup, cache = self._supervisor(tmp_path)
+        fds = [self._hold(cache, key) for key in sup.keys]
+        try:
+            assert sup._next_spawn_index(time.monotonic()) == 0
+        finally:
+            for fd in fds:
+                os.close(fd)
+
+    def test_backoff_still_gates_eligibility(self, tmp_path):
+        import time
+
+        sup, _cache = self._supervisor(tmp_path)
+        now = time.monotonic()
+        sup.queue[0].not_before = now + 60.0
+        assert sup._next_spawn_index(now) == 1
+        sup.queue[1].not_before = now + 60.0
+        assert sup._next_spawn_index(now) is None
+
+    def test_supervised_deferral_stays_bit_exact(self, tmp_path):
+        """End-to-end: a cell 'in flight' elsewhere is deferred; once
+        the remote winner publishes, the deferred cell resolves (via
+        the pre-spawn recheck or the worker-side single-flight wait)
+        with digests identical to a plain run."""
+        import os
+        import threading
+        import time as _time
+
+        from repro.harness.cache import SharedResultCache
+
+        tasks = _tasks(2)
+        plain = execute_tasks(tasks, jobs=1)
+        cache = SharedResultCache(tmp_path / "shared")
+        key0 = cache.key_for(tasks[0].experiment)
+        lock_path = cache._lock_path(key0)
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(lock_path, os.O_WRONLY | os.O_CREAT)
+        import fcntl
+
+        fcntl.flock(fd, fcntl.LOCK_EX)
+
+        def publish_and_release():
+            _time.sleep(0.3)
+            cache.put(key0, plain[0][0])  # the remote winner publishes
+            os.close(fd)
+
+        winner = threading.Thread(target=publish_and_release)
+        winner.start()
+        report = SupervisorReport()
+        try:
+            supervised = execute_supervised(
+                tasks, jobs=1, cache=cache, report=report,
+            )
+        finally:
+            winner.join()
+        assert [r.digest() for r, _ in supervised] == [
+            r.digest() for r, _ in plain
+        ]
+        assert report.deferred >= 1
+        assert report.executed + report.cache_hits == 2
